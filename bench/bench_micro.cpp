@@ -1,0 +1,172 @@
+// Engineering micro-benchmarks (google-benchmark): the numeric kernels and
+// federated-protocol operations the paper's system rests on. Not a paper
+// table — these quantify the design choices DESIGN.md calls out (FINCH cost
+// vs. plain averaging, serialization overhead, CDAP generation cost).
+#include <benchmark/benchmark.h>
+
+#include "reffil/autograd/ops.hpp"
+#include "reffil/core/cdap.hpp"
+#include "reffil/core/finch.hpp"
+#include "reffil/data/generator.hpp"
+#include "reffil/fed/fedavg.hpp"
+#include "reffil/metrics/tsne.hpp"
+#include "reffil/nn/backbone.hpp"
+#include "reffil/tensor/ops.hpp"
+
+namespace AG = reffil::autograd;
+namespace T = reffil::tensor;
+using reffil::util::Rng;
+
+static void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const T::Tensor a = T::randn({n, n}, rng);
+  const T::Tensor b = T::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128);
+
+static void BM_Conv2dForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  auto input = AG::parameter(T::randn({8, 16, 16}, rng));
+  auto weight = AG::parameter(T::randn({16, 8 * 3 * 3}, rng, 0.0f, 0.1f));
+  auto bias = AG::parameter(T::zeros({16}));
+  for (auto _ : state) {
+    input->zero_grad();
+    weight->zero_grad();
+    bias->zero_grad();
+    auto y = AG::conv2d(input, weight, bias, 3, 3, 1, 1);
+    AG::backward(AG::mean_all(y));
+    benchmark::DoNotOptimize(weight->grad());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward);
+
+static void BM_PromptNetForward(benchmark::State& state) {
+  Rng rng(3);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(image).logits->value());
+  }
+}
+BENCHMARK(BM_PromptNetForward);
+
+static void BM_PromptNetTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  for (auto _ : state) {
+    net.zero_grad();
+    auto out = net.forward(image);
+    AG::backward(AG::cross_entropy_logits(out.logits, {3}));
+    benchmark::DoNotOptimize(net.parameters().front()->grad());
+  }
+}
+BENCHMARK(BM_PromptNetTrainStep);
+
+static void BM_CdapGenerate(benchmark::State& state) {
+  Rng rng(5);
+  reffil::core::CdapConfig config;
+  reffil::core::CdapGenerator generator(config, rng);
+  const auto tokens = AG::constant(T::randn({config.num_tokens, config.token_dim}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(tokens, 2)->value());
+  }
+}
+BENCHMARK(BM_CdapGenerate);
+
+static void BM_FinchCluster(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<T::Tensor> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Three latent domains so FINCH has real structure to find.
+    T::Tensor base = T::full({32}, static_cast<float>(i % 3) * 4.0f);
+    T::add_inplace(base, T::randn({32}, rng, 0.0f, 0.4f));
+    points.push_back(std::move(base));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reffil::core::finch_representatives(points));
+  }
+}
+BENCHMARK(BM_FinchCluster)->Arg(16)->Arg(64)->Arg(256);
+
+// Ablation anchor: what FINCH replaces — plain averaging of all prompts.
+static void BM_PlainPromptAverage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<T::Tensor> points;
+  for (std::size_t i = 0; i < n; ++i) points.push_back(T::randn({32}, rng));
+  for (auto _ : state) {
+    T::Tensor mean({32});
+    for (const auto& p : points) T::add_inplace(mean, p);
+    T::scale_inplace(mean, 1.0f / static_cast<float>(n));
+    benchmark::DoNotOptimize(mean);
+  }
+}
+BENCHMARK(BM_PlainPromptAverage)->Arg(64)->Arg(256);
+
+static void BM_FedAvgAggregate(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  std::vector<reffil::fed::ModelState> states(clients, net.snapshot());
+  std::vector<double> weights(clients, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reffil::fed::federated_average(states, weights));
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(5)->Arg(10)->Arg(20);
+
+static void BM_ModelSerializeRoundTrip(benchmark::State& state) {
+  Rng rng(9);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  for (auto _ : state) {
+    reffil::util::ByteWriter writer;
+    reffil::fed::serialize_state(net.snapshot(), writer);
+    reffil::util::ByteReader reader(writer.bytes());
+    benchmark::DoNotOptimize(reffil::fed::deserialize_state(reader));
+  }
+  state.counters["bytes"] = [&] {
+    reffil::util::ByteWriter writer;
+    reffil::fed::serialize_state(net.snapshot(), writer);
+    return static_cast<double>(writer.size());
+  }();
+}
+BENCHMARK(BM_ModelSerializeRoundTrip);
+
+static void BM_SyntheticSampleGeneration(benchmark::State& state) {
+  const auto spec = reffil::data::digits_five_spec();
+  reffil::data::SyntheticDomainSource source(spec);
+  std::size_t domain = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.test_split(domain % spec.domains.size()));
+    ++domain;
+  }
+}
+BENCHMARK(BM_SyntheticSampleGeneration);
+
+static void BM_TsneEmbedding(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  std::vector<T::Tensor> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    T::Tensor p = T::full({16}, static_cast<float>(i % 4) * 3.0f);
+    T::add_inplace(p, T::randn({16}, rng, 0.0f, 0.5f));
+    points.push_back(std::move(p));
+  }
+  reffil::metrics::TsneConfig config;
+  config.iterations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reffil::metrics::tsne(points, config));
+  }
+}
+BENCHMARK(BM_TsneEmbedding)->Arg(50)->Arg(100);

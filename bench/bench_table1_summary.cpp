@@ -1,0 +1,32 @@
+// Regenerates the paper's Table 1: Avg / Last summary of all eight methods
+// on the four datasets in their original domain order.
+//
+//   REFFIL_BENCH_SEEDS=n   number of seeds to average (default 5)
+//   REFFIL_BENCH_SCALE=    smoke | scaled (default) | full
+//   REFFIL_CACHE_DIR=      cache location (shared with Tables 2-4 and the
+//                          figure benches); "off" disables caching
+#include <cstdio>
+
+#include "reffil/harness/tables.hpp"
+
+int main() {
+  using namespace reffil;
+  harness::ExperimentConfig config;
+  config.scale = harness::scale_from_env();
+
+  const auto specs = data::all_dataset_specs();
+  std::vector<std::vector<harness::CellResult>> cells(specs.size());
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    for (const auto kind : harness::all_method_kinds()) {
+      std::printf("[table1] %s / %s ...\n", specs[d].name.c_str(),
+                  harness::method_display_name(kind).c_str());
+      std::fflush(stdout);
+      cells[d].push_back(harness::run_cell(specs[d], "orig", kind, config));
+    }
+  }
+  std::printf("\n");
+  harness::print_summary_table(
+      "Table 1 — summary on four datasets (original domain order)", specs,
+      cells, /*new_order=*/false);
+  return 0;
+}

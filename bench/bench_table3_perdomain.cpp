@@ -1,0 +1,26 @@
+// Regenerates the paper's Table 3: per-task-step cumulative accuracy (each
+// column is the accuracy over all domains seen after that task) on the four
+// datasets, original domain order. Shares its runs with bench_table1 through
+// the result cache.
+#include <cstdio>
+
+#include "reffil/harness/tables.hpp"
+
+int main() {
+  using namespace reffil;
+  harness::ExperimentConfig config;
+  config.scale = harness::scale_from_env();
+
+  for (const auto& spec : data::all_dataset_specs()) {
+    std::vector<harness::CellResult> cells;
+    for (const auto kind : harness::all_method_kinds()) {
+      std::printf("[table3] %s / %s ...\n", spec.name.c_str(),
+                  harness::method_display_name(kind).c_str());
+      std::fflush(stdout);
+      cells.push_back(harness::run_cell(spec, "orig", kind, config));
+    }
+    std::printf("\n");
+    harness::print_per_step_table(spec, cells, /*new_order=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates the paper's Table 4: per-task-step cumulative accuracy under
+// the permuted domain orders. Shares its runs with bench_table2 through the
+// result cache.
+#include <cstdio>
+
+#include "reffil/harness/tables.hpp"
+
+int main() {
+  using namespace reffil;
+  harness::ExperimentConfig config;
+  config.scale = harness::scale_from_env();
+
+  for (const auto& base : data::all_dataset_specs()) {
+    const auto spec =
+        data::with_domain_order(base, data::new_domain_order(base.name));
+    std::vector<harness::CellResult> cells;
+    for (const auto kind : harness::all_method_kinds()) {
+      std::printf("[table4] %s / %s ...\n", spec.name.c_str(),
+                  harness::method_display_name(kind).c_str());
+      std::fflush(stdout);
+      cells.push_back(harness::run_cell(spec, "neworder", kind, config));
+    }
+    std::printf("\n");
+    harness::print_per_step_table(spec, cells, /*new_order=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates the paper's Table 5: component ablation of RefFiL (CDAP, GPL,
+// DPCL) on OfficeCaltech10, with deltas against the Finetune baseline.
+#include <cstdio>
+
+#include "reffil/harness/tables.hpp"
+
+int main() {
+  using namespace reffil;
+  harness::ExperimentConfig config;
+  config.scale = harness::scale_from_env();
+
+  const auto spec = data::office_caltech10_spec();
+  const auto paper_rows = harness::paper_ablation_rows();
+
+  std::printf("[table5] %s / Finetune baseline ...\n", spec.name.c_str());
+  std::fflush(stdout);
+  const harness::CellResult baseline =
+      harness::run_cell(spec, "orig", harness::MethodKind::kFinetune, config);
+
+  struct Row {
+    harness::PaperAblationRow paper;
+    double avg, last;
+  };
+  std::vector<Row> rows;
+  rows.push_back({paper_rows.front(), baseline.avg(), baseline.last()});
+  for (std::size_t i = 1; i < paper_rows.size(); ++i) {
+    const auto& p = paper_rows[i];
+    core::RefFiLConfig reffil;
+    reffil.use_cdap = p.cdap;
+    reffil.use_gpl = p.gpl;
+    reffil.use_dpcl = p.dpcl;
+    std::printf("[table5] %s / RefFiL(%s%s%s) ...\n", spec.name.c_str(),
+                p.cdap ? "CDAP " : "", p.gpl ? "GPL " : "", p.dpcl ? "DPCL" : "");
+    std::fflush(stdout);
+    const auto cell = harness::run_reffil_variant_cell(spec, "orig", reffil, config);
+    rows.push_back({p, cell.avg(), cell.last()});
+  }
+
+  std::printf("\nTable 5 — RefFiL component ablation on %s\n", spec.name.c_str());
+  std::printf("(Δ = improvement over the Finetune baseline; paper values in "
+              "parentheses)\n\n");
+  std::printf("%-6s %-5s %-6s | %8s %8s (paper) | %8s %8s (paper)\n", "CDAP",
+              "GPL", "DPCL", "Avg", "ΔAvg", "Last", "ΔLast");
+  const double base_avg = rows.front().avg, base_last = rows.front().last;
+  for (const auto& row : rows) {
+    auto mark = [](bool on) { return on ? "  x  " : "     "; };
+    std::printf("%-6s %-5s %-6s | %8.2f %+8.2f (%+5.2f) | %8.2f %+8.2f (%+5.2f)\n",
+                mark(row.paper.cdap), mark(row.paper.gpl), mark(row.paper.dpcl),
+                row.avg, row.avg - base_avg,
+                row.paper.avg - paper_rows.front().avg, row.last,
+                row.last - base_last,
+                row.paper.last - paper_rows.front().last);
+  }
+  std::printf("\nShape check: every component row should improve on the "
+              "baseline, and the full CDAP+GPL+DPCL row should be the best "
+              "Avg (paper: 44.56 -> 53.56 Avg, 19.29 -> 33.66 Last).\n");
+
+  // Design-choice ablation beyond the paper's table: Eq. (7)'s temperature
+  // decay vs. a fixed tau.
+  core::RefFiLConfig fixed_tau;
+  fixed_tau.temperature_decay = false;
+  std::printf("\n[table5] extra: full RefFiL with fixed tau (no Eq. 7 decay) ...\n");
+  std::fflush(stdout);
+  const auto fixed_cell =
+      harness::run_reffil_variant_cell(spec, "orig", fixed_tau, config);
+  std::printf("fixed-tau RefFiL:   Avg %8.2f (%+5.2f vs baseline) | Last %8.2f "
+              "(%+5.2f)\n",
+              fixed_cell.avg(), fixed_cell.avg() - base_avg, fixed_cell.last(),
+              fixed_cell.last() - base_last);
+  std::printf("(compare with the decayed-tau full row above — the paper "
+              "motivates decay as tightening the contrast as domains "
+              "accumulate.)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Quickstart: run RefFiL against the Finetune baseline on a small
+// domain-incremental curriculum and print per-task accuracies.
+//
+//   ./example_quickstart            (smoke scale, < 1 min on a laptop core)
+//   REFFIL_BENCH_SCALE=scaled ./example_quickstart
+#include <cstdio>
+
+#include "reffil/data/spec.hpp"
+#include "reffil/harness/experiment.hpp"
+
+int main() {
+  using namespace reffil;
+
+  harness::ExperimentConfig config;
+  config.scale = harness::scale_from_env() == harness::Scale::kFull
+                     ? harness::Scale::kScaled
+                     : harness::scale_from_env();
+  config.seed = 7;
+
+  const data::DatasetSpec spec = data::office_caltech10_spec();
+  std::printf("RefFiL quickstart — dataset %s: %zu classes, %zu domains, scale %s\n\n",
+              spec.name.c_str(), spec.num_classes, spec.domains.size(),
+              harness::to_string(config.scale).c_str());
+
+  for (const auto kind :
+       {harness::MethodKind::kFinetune, harness::MethodKind::kRefFiL}) {
+    const fed::RunResult result = harness::run_experiment(spec, kind, config);
+    std::printf("%-14s", result.method_name.c_str());
+    for (const auto& task : result.tasks) {
+      std::printf("  task%zu(%s)=%5.1f%%", task.task + 1,
+                  task.domain_name.c_str(), task.cumulative_accuracy);
+    }
+    std::printf("\n  Avg %.2f%%  Last %.2f%%  traffic down %.1f MiB / up %.1f MiB"
+                "  wall %.1fs\n\n",
+                result.average_accuracy(), result.last_accuracy(),
+                result.network.bytes_down / 1048576.0,
+                result.network.bytes_up / 1048576.0, result.wall_seconds);
+  }
+  return 0;
+}

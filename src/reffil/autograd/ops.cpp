@@ -1,0 +1,653 @@
+#include "reffil/autograd/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::autograd {
+
+namespace T = reffil::tensor;
+
+namespace {
+
+void require_rank2(const Var& v, const char* op) {
+  if (v->value().rank() != 2) {
+    throw ShapeError(std::string(op) + " requires rank-2, got " +
+                     T::shape_to_string(v->value().shape()));
+  }
+}
+
+}  // namespace
+
+Var add(const Var& a, const Var& b) {
+  T::Tensor value = T::add(a->value(), b->value());
+  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
+    if (a->requires_grad()) a->accumulate_grad(g);
+    if (b->requires_grad()) b->accumulate_grad(g);
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  T::Tensor value = T::sub(a->value(), b->value());
+  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
+    if (a->requires_grad()) a->accumulate_grad(g);
+    if (b->requires_grad()) b->accumulate_grad(T::neg(g));
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  T::Tensor value = T::mul(a->value(), b->value());
+  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
+    if (a->requires_grad()) a->accumulate_grad(T::mul(g, b->value()));
+    if (b->requires_grad()) b->accumulate_grad(T::mul(g, a->value()));
+  });
+}
+
+Var add_scalar(const Var& a, float s) {
+  return make_node(T::add_scalar(a->value(), s), {a}, [a](const T::Tensor& g) {
+    a->accumulate_grad(g);
+  });
+}
+
+Var mul_scalar(const Var& a, float s) {
+  return make_node(T::mul_scalar(a->value(), s), {a}, [a, s](const T::Tensor& g) {
+    a->accumulate_grad(T::mul_scalar(g, s));
+  });
+}
+
+Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
+
+Var relu(const Var& a) {
+  return make_node(T::relu(a->value()), {a}, [a](const T::Tensor& g) {
+    T::Tensor dx = g;
+    const float* x = a->value().begin();
+    float* d = dx.begin();
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+      if (x[i] <= 0.0f) d[i] = 0.0f;
+    }
+    a->accumulate_grad(dx);
+  });
+}
+
+Var tanh(const Var& a) {
+  T::Tensor y = T::tanh(a->value());
+  return make_node(y, {a}, [a, y](const T::Tensor& g) {
+    T::Tensor dx = g;
+    const float* py = y.begin();
+    float* d = dx.begin();
+    for (std::size_t i = 0; i < dx.numel(); ++i) d[i] *= 1.0f - py[i] * py[i];
+    a->accumulate_grad(dx);
+  });
+}
+
+Var sigmoid(const Var& a) {
+  T::Tensor y = T::sigmoid(a->value());
+  return make_node(y, {a}, [a, y](const T::Tensor& g) {
+    T::Tensor dx = g;
+    const float* py = y.begin();
+    float* d = dx.begin();
+    for (std::size_t i = 0; i < dx.numel(); ++i) d[i] *= py[i] * (1.0f - py[i]);
+    a->accumulate_grad(dx);
+  });
+}
+
+Var exp(const Var& a) {
+  T::Tensor y = T::exp(a->value());
+  return make_node(y, {a}, [a, y](const T::Tensor& g) {
+    a->accumulate_grad(T::mul(g, y));
+  });
+}
+
+Var log(const Var& a) {
+  return make_node(T::log(a->value()), {a}, [a](const T::Tensor& g) {
+    a->accumulate_grad(T::div(g, a->value()));
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  T::Tensor value = T::matmul(a->value(), b->value());
+  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
+    // dA = g @ B^T ; dB = A^T @ g
+    if (a->requires_grad()) {
+      a->accumulate_grad(T::matmul(g, T::transpose2d(b->value())));
+    }
+    if (b->requires_grad()) {
+      b->accumulate_grad(T::matmul(T::transpose2d(a->value()), g));
+    }
+  });
+}
+
+Var transpose(const Var& a) {
+  require_rank2(a, "transpose");
+  return make_node(T::transpose2d(a->value()), {a}, [a](const T::Tensor& g) {
+    a->accumulate_grad(T::transpose2d(g));
+  });
+}
+
+Var add_rowvec(const Var& x, const Var& b) {
+  require_rank2(x, "add_rowvec");
+  if (b->value().rank() != 1 || b->value().dim(0) != x->value().dim(1)) {
+    throw ShapeError("add_rowvec: bias " + T::shape_to_string(b->value().shape()) +
+                     " vs matrix " + T::shape_to_string(x->value().shape()));
+  }
+  const std::size_t m = x->value().dim(0), n = x->value().dim(1);
+  T::Tensor value = x->value();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) value.at(i * n + j) += b->value().at(j);
+  }
+  return make_node(std::move(value), {x, b}, [x, b](const T::Tensor& g) {
+    if (x->requires_grad()) x->accumulate_grad(g);
+    if (b->requires_grad()) b->accumulate_grad(T::sum_rows(g));
+  });
+}
+
+Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
+  require_rank2(x, "rowwise_affine");
+  const std::size_t m = x->value().dim(0), n = x->value().dim(1);
+  const auto check_vec = [&](const Var& v, const char* name) {
+    if (v->value().rank() != 1 || v->value().dim(0) != m) {
+      throw ShapeError(std::string("rowwise_affine: ") + name + " " +
+                       T::shape_to_string(v->value().shape()) + " vs matrix " +
+                       T::shape_to_string(x->value().shape()));
+    }
+  };
+  check_vec(alpha, "alpha");
+  check_vec(lambda, "lambda");
+
+  T::Tensor value({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float ai = alpha->value().at(i);
+    const float li = lambda->value().at(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      value.at(i * n + j) = ai * (x->value().at(i * n + j) + li);
+    }
+  }
+  return make_node(std::move(value), {x, alpha, lambda},
+                   [x, alpha, lambda, m, n](const T::Tensor& g) {
+                     if (x->requires_grad()) {
+                       T::Tensor dx({m, n});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         const float ai = alpha->value().at(i);
+                         for (std::size_t j = 0; j < n; ++j) {
+                           dx.at(i * n + j) = g.at(i * n + j) * ai;
+                         }
+                       }
+                       x->accumulate_grad(dx);
+                     }
+                     if (alpha->requires_grad()) {
+                       T::Tensor da({m});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         double acc = 0.0;
+                         const float li = lambda->value().at(i);
+                         for (std::size_t j = 0; j < n; ++j) {
+                           acc += double(g.at(i * n + j)) *
+                                  (x->value().at(i * n + j) + li);
+                         }
+                         da.at(i) = static_cast<float>(acc);
+                       }
+                       alpha->accumulate_grad(da);
+                     }
+                     if (lambda->requires_grad()) {
+                       T::Tensor dl({m});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         double acc = 0.0;
+                         const float ai = alpha->value().at(i);
+                         for (std::size_t j = 0; j < n; ++j) {
+                           acc += double(g.at(i * n + j)) * ai;
+                         }
+                         dl.at(i) = static_cast<float>(acc);
+                       }
+                       lambda->accumulate_grad(dl);
+                     }
+                   });
+}
+
+Var reshape(const Var& a, tensor::Shape shape) {
+  const tensor::Shape original = a->value().shape();
+  return make_node(a->value().reshaped(std::move(shape)), {a},
+                   [a, original](const T::Tensor& g) {
+                     a->accumulate_grad(g.reshaped(original));
+                   });
+}
+
+Var concat_rows(const Var& a, const Var& b) {
+  T::Tensor value = T::concat_rows(a->value(), b->value());
+  const std::size_t ma = a->value().dim(0);
+  const std::size_t mb = b->value().dim(0);
+  return make_node(std::move(value), {a, b}, [a, b, ma, mb](const T::Tensor& g) {
+    if (a->requires_grad()) a->accumulate_grad(T::slice_rows(g, 0, ma));
+    if (b->requires_grad()) b->accumulate_grad(T::slice_rows(g, ma, ma + mb));
+  });
+}
+
+Var concat_cols(const Var& a, const Var& b) {
+  T::Tensor value = T::concat_cols(a->value(), b->value());
+  const std::size_t na = a->value().dim(1);
+  const std::size_t nb = b->value().dim(1);
+  const std::size_t m = a->value().dim(0);
+  return make_node(std::move(value), {a, b},
+                   [a, b, m, na, nb](const T::Tensor& g) {
+                     if (a->requires_grad()) {
+                       T::Tensor da({m, na});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         for (std::size_t j = 0; j < na; ++j) {
+                           da.at(i * na + j) = g.at(i * (na + nb) + j);
+                         }
+                       }
+                       a->accumulate_grad(da);
+                     }
+                     if (b->requires_grad()) {
+                       T::Tensor db({m, nb});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         for (std::size_t j = 0; j < nb; ++j) {
+                           db.at(i * nb + j) = g.at(i * (na + nb) + na + j);
+                         }
+                       }
+                       b->accumulate_grad(db);
+                     }
+                   });
+}
+
+Var slice_rows(const Var& a, std::size_t begin, std::size_t end) {
+  require_rank2(a, "slice_rows");
+  T::Tensor value = T::slice_rows(a->value(), begin, end);
+  const std::size_t m = a->value().dim(0), n = a->value().dim(1);
+  return make_node(std::move(value), {a}, [a, begin, end, m, n](const T::Tensor& g) {
+    T::Tensor da({m, n});
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        da.at(i * n + j) = g.at((i - begin) * n + j);
+      }
+    }
+    a->accumulate_grad(da);
+  });
+}
+
+Var slice_cols(const Var& a, std::size_t begin, std::size_t end) {
+  require_rank2(a, "slice_cols");
+  const std::size_t m = a->value().dim(0), n = a->value().dim(1);
+  REFFIL_CHECK_MSG(begin <= end && end <= n, "slice_cols: bad range");
+  T::Tensor value({m, end - begin});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = begin; j < end; ++j) {
+      value.at(i * (end - begin) + (j - begin)) = a->value().at(i * n + j);
+    }
+  }
+  return make_node(std::move(value), {a}, [a, begin, end, m, n](const T::Tensor& g) {
+    T::Tensor da({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = begin; j < end; ++j) {
+        da.at(i * n + j) = g.at(i * (end - begin) + (j - begin));
+      }
+    }
+    a->accumulate_grad(da);
+  });
+}
+
+Var select_row(const Var& table, std::size_t index) {
+  require_rank2(table, "select_row");
+  const std::size_t m = table->value().dim(0), n = table->value().dim(1);
+  REFFIL_CHECK_MSG(index < m, "select_row: index out of range");
+  T::Tensor value = T::slice_rows(table->value(), index, index + 1);
+  return make_node(std::move(value), {table}, [table, index, m, n](const T::Tensor& g) {
+    T::Tensor dt({m, n});
+    for (std::size_t j = 0; j < n; ++j) dt.at(index * n + j) = g.at(j);
+    table->accumulate_grad(dt);
+  });
+}
+
+Var sum_all(const Var& a) {
+  T::Tensor value = T::Tensor::scalar(T::sum_all(a->value()));
+  return make_node(std::move(value), {a}, [a](const T::Tensor& g) {
+    a->accumulate_grad(T::full(a->value().shape(), g.item()));
+  });
+}
+
+Var mean_all(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a->value().numel());
+  T::Tensor value = T::Tensor::scalar(T::mean_all(a->value()));
+  return make_node(std::move(value), {a}, [a, inv](const T::Tensor& g) {
+    a->accumulate_grad(T::full(a->value().shape(), g.item() * inv));
+  });
+}
+
+Var mean_rows(const Var& a) {
+  require_rank2(a, "mean_rows");
+  const std::size_t m = a->value().dim(0), n = a->value().dim(1);
+  T::Tensor value = T::mean_rows(a->value()).reshaped({1, n});
+  return make_node(std::move(value), {a}, [a, m, n](const T::Tensor& g) {
+    const float inv = 1.0f / static_cast<float>(m);
+    T::Tensor da({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) da.at(i * n + j) = g.at(j) * inv;
+    }
+    a->accumulate_grad(da);
+  });
+}
+
+Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
+  require_rank2(x, "layer_norm");
+  const std::size_t m = x->value().dim(0), n = x->value().dim(1);
+  if (gain->value().rank() != 1 || gain->value().dim(0) != n ||
+      bias->value().rank() != 1 || bias->value().dim(0) != n) {
+    throw ShapeError("layer_norm: gain/bias must be [n]");
+  }
+  // Cache per-row inv-std and normalized values for backward.
+  auto xhat = std::make_shared<T::Tensor>(T::Shape{m, n});
+  auto inv_std = std::make_shared<std::vector<float>>(m);
+  T::Tensor value({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* src = x->value().begin() + i * n;
+    double mean = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mean += src[j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = src[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[i] = istd;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float h = (src[j] - static_cast<float>(mean)) * istd;
+      xhat->at(i * n + j) = h;
+      value.at(i * n + j) = h * gain->value().at(j) + bias->value().at(j);
+    }
+  }
+  return make_node(std::move(value), {x, gain, bias},
+                   [x, gain, bias, xhat, inv_std, m, n](const T::Tensor& g) {
+                     if (gain->requires_grad()) {
+                       T::Tensor dg({n});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         for (std::size_t j = 0; j < n; ++j) {
+                           dg.at(j) += g.at(i * n + j) * xhat->at(i * n + j);
+                         }
+                       }
+                       gain->accumulate_grad(dg);
+                     }
+                     if (bias->requires_grad()) {
+                       bias->accumulate_grad(T::sum_rows(g));
+                     }
+                     if (x->requires_grad()) {
+                       T::Tensor dx({m, n});
+                       for (std::size_t i = 0; i < m; ++i) {
+                         // ghat = g * gain; dx = istd*(ghat - mean(ghat)
+                         //        - xhat * mean(ghat*xhat))
+                         double mean_gh = 0.0, mean_ghx = 0.0;
+                         for (std::size_t j = 0; j < n; ++j) {
+                           const double gh = double(g.at(i * n + j)) * gain->value().at(j);
+                           mean_gh += gh;
+                           mean_ghx += gh * xhat->at(i * n + j);
+                         }
+                         mean_gh /= static_cast<double>(n);
+                         mean_ghx /= static_cast<double>(n);
+                         const float istd = (*inv_std)[i];
+                         for (std::size_t j = 0; j < n; ++j) {
+                           const double gh = double(g.at(i * n + j)) * gain->value().at(j);
+                           dx.at(i * n + j) = static_cast<float>(
+                               istd * (gh - mean_gh - xhat->at(i * n + j) * mean_ghx));
+                         }
+                       }
+                       x->accumulate_grad(dx);
+                     }
+                   });
+}
+
+Var softmax_rows(const Var& logits) {
+  require_rank2(logits, "softmax_rows");
+  T::Tensor s = T::softmax_rows(logits->value());
+  const std::size_t m = s.dim(0), n = s.dim(1);
+  return make_node(s, {logits}, [logits, s, m, n](const T::Tensor& g) {
+    // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
+    T::Tensor dx({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+      double row_dot = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row_dot += double(g.at(i * n + j)) * s.at(i * n + j);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        dx.at(i * n + j) = static_cast<float>(
+            s.at(i * n + j) * (double(g.at(i * n + j)) - row_dot));
+      }
+    }
+    logits->accumulate_grad(dx);
+  });
+}
+
+Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labels) {
+  require_rank2(logits, "cross_entropy_logits");
+  const std::size_t m = logits->value().dim(0), k = logits->value().dim(1);
+  REFFIL_CHECK_MSG(labels.size() == m, "cross_entropy_logits: label count");
+  for (std::size_t label : labels) REFFIL_CHECK_MSG(label < k, "label out of range");
+
+  T::Tensor log_probs = T::log_softmax_rows(logits->value());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < m; ++i) loss -= log_probs.at(i * k + labels[i]);
+  loss /= static_cast<double>(m);
+
+  auto labels_copy = std::make_shared<std::vector<std::size_t>>(labels);
+  T::Tensor probs = T::softmax_rows(logits->value());
+  return make_node(T::Tensor::scalar(static_cast<float>(loss)), {logits},
+                   [logits, probs, labels_copy, m, k](const T::Tensor& g) {
+                     const float scale = g.item() / static_cast<float>(m);
+                     T::Tensor dx = probs;
+                     for (std::size_t i = 0; i < m; ++i) {
+                       dx.at(i * k + (*labels_copy)[i]) -= 1.0f;
+                     }
+                     T::scale_inplace(dx, scale);
+                     logits->accumulate_grad(dx);
+                   });
+}
+
+Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_probs,
+                      float temperature) {
+  require_rank2(student_logits, "distillation_loss");
+  if (teacher_probs.shape() != student_logits->value().shape()) {
+    throw ShapeError("distillation_loss: teacher/student shape mismatch");
+  }
+  REFFIL_CHECK_MSG(temperature > 0.0f, "distillation temperature must be > 0");
+  const std::size_t m = student_logits->value().dim(0);
+  const std::size_t k = student_logits->value().dim(1);
+
+  T::Tensor scaled = T::mul_scalar(student_logits->value(), 1.0f / temperature);
+  T::Tensor log_q = T::log_softmax_rows(scaled);
+  // loss = -(1/m) * sum_ij p_ij log q_ij (constant teacher-entropy term dropped)
+  double loss = 0.0;
+  for (std::size_t i = 0; i < m * k; ++i) loss -= double(teacher_probs.at(i)) * log_q.at(i);
+  loss /= static_cast<double>(m);
+
+  T::Tensor q = T::softmax_rows(scaled);
+  return make_node(T::Tensor::scalar(static_cast<float>(loss)), {student_logits},
+                   [student_logits, q, teacher_probs, temperature, m](const T::Tensor& g) {
+                     // d/dz = (q - p) / (m * T)
+                     T::Tensor dx = T::sub(q, teacher_probs);
+                     T::scale_inplace(dx, g.item() / (static_cast<float>(m) * temperature));
+                     student_logits->accumulate_grad(dx);
+                   });
+}
+
+Var cosine_similarity(const Var& a, const Var& b) {
+  REFFIL_CHECK_MSG(a->value().numel() == b->value().numel(),
+                   "cosine_similarity: size mismatch");
+  const float* pa = a->value().begin();
+  const float* pb = b->value().begin();
+  const std::size_t n = a->value().numel();
+  double num = 0.0, na2 = 0.0, nb2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += double(pa[i]) * pb[i];
+    na2 += double(pa[i]) * pa[i];
+    nb2 += double(pb[i]) * pb[i];
+  }
+  const double eps = 1e-12;
+  const double norm_a = std::sqrt(na2) + eps;
+  const double norm_b = std::sqrt(nb2) + eps;
+  const double cos = num / (norm_a * norm_b);
+
+  return make_node(
+      T::Tensor::scalar(static_cast<float>(cos)), {a, b},
+      [a, b, cos, norm_a, norm_b](const T::Tensor& g) {
+        const double gs = g.item();
+        const std::size_t n = a->value().numel();
+        const float* pa = a->value().begin();
+        const float* pb = b->value().begin();
+        // d cos / d a_i = b_i/(|a||b|) - cos * a_i/|a|^2  (and symmetrically).
+        if (a->requires_grad()) {
+          T::Tensor da(a->value().shape());
+          float* d = da.begin();
+          for (std::size_t i = 0; i < n; ++i) {
+            d[i] = static_cast<float>(
+                gs * (pb[i] / (norm_a * norm_b) - cos * pa[i] / (norm_a * norm_a)));
+          }
+          a->accumulate_grad(da);
+        }
+        if (b->requires_grad()) {
+          T::Tensor db(b->value().shape());
+          float* d = db.begin();
+          for (std::size_t i = 0; i < n; ++i) {
+            d[i] = static_cast<float>(
+                gs * (pa[i] / (norm_a * norm_b) - cos * pb[i] / (norm_b * norm_b)));
+          }
+          b->accumulate_grad(db);
+        }
+      });
+}
+
+namespace {
+
+struct ConvGeometry {
+  std::size_t cin, h, w, kh, kw, stride, pad, hout, wout;
+};
+
+ConvGeometry conv_geometry(const T::Tensor& input, std::size_t kh, std::size_t kw,
+                           std::size_t stride, std::size_t pad) {
+  if (input.rank() != 3) {
+    throw ShapeError("conv2d input must be [Cin,H,W], got " +
+                     T::shape_to_string(input.shape()));
+  }
+  REFFIL_CHECK_MSG(stride > 0, "conv2d: stride must be > 0");
+  ConvGeometry geom{};
+  geom.cin = input.dim(0);
+  geom.h = input.dim(1);
+  geom.w = input.dim(2);
+  geom.kh = kh;
+  geom.kw = kw;
+  geom.stride = stride;
+  geom.pad = pad;
+  REFFIL_CHECK_MSG(geom.h + 2 * pad >= kh && geom.w + 2 * pad >= kw,
+                   "conv2d: kernel larger than padded input");
+  geom.hout = (geom.h + 2 * pad - kh) / stride + 1;
+  geom.wout = (geom.w + 2 * pad - kw) / stride + 1;
+  return geom;
+}
+
+// Unfold input into a [Cin*kh*kw, Hout*Wout] column matrix.
+T::Tensor im2col(const T::Tensor& input, const ConvGeometry& g) {
+  T::Tensor col({g.cin * g.kh * g.kw, g.hout * g.wout});
+  for (std::size_t c = 0; c < g.cin; ++c) {
+    for (std::size_t ki = 0; ki < g.kh; ++ki) {
+      for (std::size_t kj = 0; kj < g.kw; ++kj) {
+        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        for (std::size_t oi = 0; oi < g.hout; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t oj = 0; oj < g.wout; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.0f;
+            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(g.h) && jj >= 0 &&
+                jj < static_cast<std::ptrdiff_t>(g.w)) {
+              v = input.at((c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                           static_cast<std::size_t>(jj));
+            }
+            col.at(row * (g.hout * g.wout) + oi * g.wout + oj) = v;
+          }
+        }
+      }
+    }
+  }
+  return col;
+}
+
+// Scatter a column-matrix gradient back to input layout (adjoint of im2col).
+T::Tensor col2im(const T::Tensor& dcol, const ConvGeometry& g) {
+  T::Tensor dinput({g.cin, g.h, g.w});
+  for (std::size_t c = 0; c < g.cin; ++c) {
+    for (std::size_t ki = 0; ki < g.kh; ++ki) {
+      for (std::size_t kj = 0; kj < g.kw; ++kj) {
+        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        for (std::size_t oi = 0; oi < g.hout; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(g.h)) continue;
+          for (std::size_t oj = 0; oj < g.wout; ++oj) {
+            const std::ptrdiff_t jj =
+                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(g.w)) continue;
+            dinput.at((c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                      static_cast<std::size_t>(jj)) +=
+                dcol.at(row * (g.hout * g.wout) + oi * g.wout + oj);
+          }
+        }
+      }
+    }
+  }
+  return dinput;
+}
+
+}  // namespace
+
+Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
+           std::size_t kw, std::size_t stride, std::size_t pad) {
+  const ConvGeometry geom = conv_geometry(input->value(), kh, kw, stride, pad);
+  if (weight->value().rank() != 2 ||
+      weight->value().dim(1) != geom.cin * kh * kw) {
+    throw ShapeError("conv2d weight must be [Cout, Cin*kh*kw]");
+  }
+  const std::size_t cout = weight->value().dim(0);
+  if (bias->value().rank() != 1 || bias->value().dim(0) != cout) {
+    throw ShapeError("conv2d bias must be [Cout]");
+  }
+
+  auto col = std::make_shared<T::Tensor>(im2col(input->value(), geom));
+  T::Tensor out2d = T::matmul(weight->value(), *col);  // [Cout, Hout*Wout]
+  for (std::size_t c = 0; c < cout; ++c) {
+    const float b = bias->value().at(c);
+    for (std::size_t p = 0; p < geom.hout * geom.wout; ++p) {
+      out2d.at(c * geom.hout * geom.wout + p) += b;
+    }
+  }
+  T::Tensor value = out2d.reshaped({cout, geom.hout, geom.wout});
+
+  return make_node(
+      std::move(value), {input, weight, bias},
+      [input, weight, bias, col, geom, cout](const T::Tensor& g) {
+        const T::Tensor g2d = g.reshaped({cout, geom.hout * geom.wout});
+        if (bias->requires_grad()) {
+          T::Tensor db({cout});
+          for (std::size_t c = 0; c < cout; ++c) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < geom.hout * geom.wout; ++p) {
+              acc += g2d.at(c * geom.hout * geom.wout + p);
+            }
+            db.at(c) = static_cast<float>(acc);
+          }
+          bias->accumulate_grad(db);
+        }
+        if (weight->requires_grad()) {
+          weight->accumulate_grad(T::matmul(g2d, T::transpose2d(*col)));
+        }
+        if (input->requires_grad()) {
+          const T::Tensor dcol = T::matmul(T::transpose2d(weight->value()), g2d);
+          input->accumulate_grad(col2im(dcol, geom));
+        }
+      });
+}
+
+}  // namespace reffil::autograd

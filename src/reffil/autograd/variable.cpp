@@ -1,0 +1,90 @@
+#include "reffil/autograd/variable.hpp"
+
+#include <unordered_set>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::autograd {
+
+void Node::accumulate_grad(const tensor::Tensor& g) {
+  if (g.shape() != value_.shape()) {
+    throw ShapeError("gradient shape " + tensor::shape_to_string(g.shape()) +
+                     " does not match value shape " +
+                     tensor::shape_to_string(value_.shape()));
+  }
+  if (!grad_initialized_) {
+    grad_ = g;
+    grad_initialized_ = true;
+  } else {
+    tensor::add_inplace(grad_, g);
+  }
+}
+
+Var constant(tensor::Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+Var parameter(tensor::Tensor value) {
+  auto node = std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+  node->zero_grad();
+  return node;
+}
+
+Var make_node(tensor::Tensor value, std::vector<Var> parents,
+              std::function<void(const tensor::Tensor&)> backward_fn) {
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad = needs_grad || p->requires_grad();
+  auto node = std::make_shared<Node>(std::move(value), needs_grad);
+  if (needs_grad) {
+    node->set_parents(std::move(parents));
+    node->set_backward(std::move(backward_fn));
+  }
+  return node;
+}
+
+namespace {
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned list, so we sweep it in reverse).
+void topo_sort(const Var& root, std::vector<Node*>& order) {
+  std::unordered_set<const Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents().size()) {
+      Node* parent = frame.node->parents()[frame.next_parent++].get();
+      if (parent->requires_grad() && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+}  // namespace
+
+void backward(const Var& root) {
+  REFFIL_CHECK_MSG(root != nullptr, "backward on null Var");
+  REFFIL_CHECK_MSG(root->value().numel() == 1,
+                   "backward requires a scalar (single-element) root");
+  if (!root->requires_grad()) return;
+
+  std::vector<Node*> order;
+  topo_sort(root, order);
+
+  root->accumulate_grad(tensor::ones(root->value().shape()));
+  // order is post-order (root last); sweep from the root backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn()) node->backward_fn()(node->grad());
+  }
+}
+
+}  // namespace reffil::autograd

@@ -1,0 +1,81 @@
+// Reverse-mode automatic differentiation.
+//
+// A Var is a shared handle to a tape Node holding a value tensor, an
+// accumulated gradient, the parent edges and a backward closure. Graphs are
+// built implicitly by the ops in reffil/autograd/ops.hpp; calling
+// backward(root) runs a topological sweep and accumulates dL/dx into every
+// node that requires gradients.
+//
+// The engine is deliberately scalar-loss oriented: backward() requires the
+// root to be a single-element tensor (a loss), which is all the training
+// stack needs and keeps the seeding rule unambiguous.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::autograd {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(tensor::Tensor value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const tensor::Tensor& value() const { return value_; }
+  tensor::Tensor& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Accumulated gradient; zero tensor of value's shape until backward runs.
+  const tensor::Tensor& grad() const { return grad_; }
+
+  /// Reset the gradient to zero (keeps shape).
+  void zero_grad() { grad_ = tensor::Tensor(value_.shape()); }
+
+  /// Add g into the stored gradient (lazily shaped on first call).
+  void accumulate_grad(const tensor::Tensor& g);
+
+  // --- graph wiring (used by the op library) ---------------------------------
+  void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
+  const std::vector<Var>& parents() const { return parents_; }
+
+  /// backward_fn(out_grad) must add this node's contribution into each
+  /// parent via parent->accumulate_grad(...).
+  void set_backward(std::function<void(const tensor::Tensor&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::function<void(const tensor::Tensor&)>& backward_fn() const {
+    return backward_fn_;
+  }
+
+ private:
+  tensor::Tensor value_;
+  tensor::Tensor grad_;  // empty-shape scalar until first accumulation
+  bool grad_initialized_ = false;
+  bool requires_grad_;
+  std::vector<Var> parents_;
+  std::function<void(const tensor::Tensor&)> backward_fn_;
+};
+
+/// Wrap a tensor as a graph leaf.
+Var constant(tensor::Tensor value);
+
+/// Wrap a tensor as a trainable leaf (requires_grad = true).
+Var parameter(tensor::Tensor value);
+
+/// Run reverse-mode accumulation from a scalar root. Gradients accumulate —
+/// call zero_grad on parameters between steps (the optimizer does this).
+void backward(const Var& root);
+
+/// Helper used by ops: create an interior node whose requires_grad is the OR
+/// of its parents'.
+Var make_node(tensor::Tensor value, std::vector<Var> parents,
+              std::function<void(const tensor::Tensor&)> backward_fn);
+
+}  // namespace reffil::autograd

@@ -1,0 +1,57 @@
+// FedEWC: Elastic Weight Consolidation (Kirkpatrick et al. 2017) in FDIL.
+//
+// Clients estimate the diagonal Fisher information of the trained model on
+// their local data during the *last round* of each task and upload it with
+// the update; the server averages the Fisher diagonals and anchors the next
+// task's training with the quadratic penalty
+//     L_EWC = (lambda / 2) * sum_i F_i (theta_i - theta*_i)^2
+// whose gradient lambda * F * (theta - theta*) is added after backward().
+// lambda defaults to the paper's 300; Fisher diagonals are normalized to a
+// unit maximum so lambda has a consistent meaning across architectures.
+#pragma once
+
+#include "reffil/cl/method_base.hpp"
+
+namespace reffil::cl {
+
+struct EwcConfig {
+  float lambda = 120.0f;          ///< paper uses 300 at its scale
+  std::size_t fisher_samples = 32;  ///< per-client sample budget for Fisher
+};
+
+class EwcMethod : public MethodBase {
+ public:
+  EwcMethod(MethodConfig config, EwcConfig ewc = {});
+
+  void on_task_start(std::size_t task) override;
+
+ protected:
+  void write_broadcast_extras(util::ByteWriter& writer) override;
+  void read_broadcast_extras(util::ByteReader& reader, std::size_t slot) override;
+  void write_update_extras(util::ByteWriter& writer, Replica& replica,
+                           const fed::TrainJob& job) override;
+  void read_update_extras(util::ByteReader& reader,
+                          const fed::ClientUpdate& update) override;
+  void post_backward(Replica& replica, const fed::TrainJob& job,
+                     std::size_t slot) override;
+  void after_aggregate() override;
+
+ private:
+  EwcConfig ewc_;
+  // Server-side consolidated penalty (from the previous task).
+  bool have_penalty_ = false;
+  fed::ModelState fisher_;
+  fed::ModelState anchor_;
+  // Fisher diagonals uploaded during the current round (pre-aggregation).
+  std::vector<fed::ModelState> pending_fishers_;
+  std::vector<double> pending_fisher_weights_;
+  // Worker-local copy of the active penalty (parsed from broadcast).
+  struct WorkerPenalty {
+    bool active = false;
+    fed::ModelState fisher;
+    fed::ModelState anchor;
+  };
+  std::vector<WorkerPenalty> worker_penalty_;
+};
+
+}  // namespace reffil::cl

@@ -1,0 +1,215 @@
+#include "reffil/cl/method_base.hpp"
+
+#include <algorithm>
+
+#include "reffil/autograd/ops.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::cl {
+
+namespace AG = reffil::autograd;
+namespace T = reffil::tensor;
+
+fed::ModelState Replica::snapshot() {
+  fed::ModelState state;
+  for (nn::Module* m : modules()) {
+    auto s = m->snapshot();
+    state.insert(state.end(), std::make_move_iterator(s.begin()),
+                 std::make_move_iterator(s.end()));
+  }
+  return state;
+}
+
+void Replica::load(const fed::ModelState& state) {
+  std::size_t offset = 0;
+  for (nn::Module* m : modules()) {
+    const std::size_t count = m->parameters().size();
+    REFFIL_CHECK_MSG(offset + count <= state.size(),
+                     "replica load: state too short");
+    m->load({state.begin() + static_cast<std::ptrdiff_t>(offset),
+             state.begin() + static_cast<std::ptrdiff_t>(offset + count)});
+    offset += count;
+  }
+  REFFIL_CHECK_MSG(offset == state.size(), "replica load: state too long");
+}
+
+std::vector<autograd::Var> Replica::parameters() {
+  std::vector<autograd::Var> params;
+  for (nn::Module* m : modules()) {
+    const auto& p = m->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+MethodBase::MethodBase(std::string name, MethodConfig config)
+    : name_(std::move(name)), config_(config) {
+  REFFIL_CHECK_MSG(config_.parallelism > 0, "method needs >= 1 worker");
+  REFFIL_CHECK_MSG(config_.batch_size > 0, "batch size must be > 0");
+}
+
+std::unique_ptr<Replica> MethodBase::make_replica(util::Rng& rng) {
+  return std::make_unique<Replica>(config_, rng);
+}
+
+void MethodBase::init_workers() {
+  REFFIL_CHECK_MSG(workers_.empty(), "init_workers called twice");
+  for (std::size_t slot = 0; slot < config_.parallelism; ++slot) {
+    // Every replica is built from the same seed so all workers (and the
+    // initial global state) share one initialisation; load() overwrites
+    // values before each use anyway.
+    util::Rng replica_rng(config_.seed ^ 0xC0FFEEULL);
+    workers_.push_back(make_replica(replica_rng));
+  }
+  global_state_ = workers_.front()->snapshot();
+}
+
+Replica& MethodBase::replica(std::size_t slot) {
+  REFFIL_CHECK_MSG(slot < workers_.size(), "worker slot out of range");
+  return *workers_[slot];
+}
+
+void MethodBase::on_task_start(std::size_t task) { current_task_ = task; }
+
+std::vector<std::uint8_t> MethodBase::make_broadcast() {
+  util::ByteWriter writer;
+  fed::serialize_state(global_state_, writer);
+  write_broadcast_extras(writer);
+  return writer.take();
+}
+
+void MethodBase::read_broadcast_extras(util::ByteReader& reader, std::size_t) {
+  if (!reader.exhausted()) {
+    throw SerializationError("unconsumed broadcast extras");
+  }
+}
+
+void MethodBase::read_update_extras(util::ByteReader& reader,
+                                    const fed::ClientUpdate&) {
+  if (!reader.exhausted()) {
+    throw SerializationError("unconsumed update extras");
+  }
+}
+
+std::vector<MethodBase::TaggedSample> MethodBase::local_view(
+    const fed::TrainJob& job) {
+  std::vector<TaggedSample> view;
+  const bool use_new = job.group != fed::ClientGroup::kOld && job.new_data != nullptr;
+  const bool use_old =
+      job.group != fed::ClientGroup::kNew && job.old_data != nullptr;
+  if (use_old) {
+    const std::size_t old_task = job.task == 0 ? 0 : job.task - 1;
+    for (const auto& s : *job.old_data) view.push_back({&s, old_task});
+  }
+  if (use_new) {
+    for (const auto& s : *job.new_data) view.push_back({&s, job.task});
+  }
+  REFFIL_CHECK_MSG(!view.empty(), "client has no local data for this round");
+  return view;
+}
+
+fed::ClientUpdate MethodBase::train_client(
+    const std::vector<std::uint8_t>& broadcast, const fed::TrainJob& job) {
+  Replica& rep = replica(job.worker_slot);
+
+  util::ByteReader reader(broadcast);
+  rep.load(fed::deserialize_state(reader));
+  read_broadcast_extras(reader, job.worker_slot);
+
+  std::vector<TaggedSample> view = local_view(job);
+  // Deterministic per-(client, task, round) stream, independent of thread
+  // scheduling.
+  util::Rng rng(config_.seed ^ (job.client_id * 0x9E3779B9ULL) ^
+                (job.task * 0x85EBCA6BULL) ^ (job.round * 0xC2B2AE35ULL));
+
+  on_client_begin(rep, job, job.worker_slot);
+
+  nn::SgdOptimizer optimizer(rep.parameters(),
+                             {.learning_rate = job.learning_rate,
+                              .momentum = config_.momentum,
+                              .clip_norm = config_.clip_norm});
+  for (std::size_t epoch = 0; epoch < job.local_epochs; ++epoch) {
+    rng.shuffle(view);
+    for (std::size_t begin = 0; begin < view.size();
+         begin += config_.batch_size) {
+      const std::size_t end = std::min(view.size(), begin + config_.batch_size);
+      const std::vector<TaggedSample> batch(
+          view.begin() + static_cast<std::ptrdiff_t>(begin),
+          view.begin() + static_cast<std::ptrdiff_t>(end));
+      optimizer.zero_grad();
+      AG::Var loss = batch_loss(rep, batch, job, job.worker_slot);
+      AG::backward(loss);
+      post_backward(rep, job, job.worker_slot);
+      optimizer.step();
+    }
+  }
+
+  on_client_end(rep, job, job.worker_slot);
+
+  fed::ClientUpdate update;
+  update.client_id = job.client_id;
+  update.num_samples = view.size();
+  util::ByteWriter writer;
+  fed::serialize_state(rep.snapshot(), writer);
+  write_update_extras(writer, rep, job);
+  update.payload = writer.take();
+  return update;
+}
+
+void MethodBase::aggregate(const std::vector<fed::ClientUpdate>& updates) {
+  REFFIL_CHECK_MSG(!updates.empty(), "aggregate: no updates");
+  std::vector<fed::ModelState> states;
+  std::vector<double> weights;
+  states.reserve(updates.size());
+  weights.reserve(updates.size());
+  for (const auto& update : updates) {
+    util::ByteReader reader(update.payload);
+    states.push_back(fed::deserialize_state(reader));
+    read_update_extras(reader, update);
+    weights.push_back(static_cast<double>(update.num_samples));
+  }
+  global_state_ = fed::federated_average(states, weights);
+  after_aggregate();
+}
+
+void MethodBase::prepare_eval() {
+  for (auto& worker : workers_) worker->load(global_state_);
+}
+
+std::size_t MethodBase::predict(std::size_t worker_slot,
+                                const tensor::Tensor& image) {
+  AG::Var logits = eval_logits(replica(worker_slot), image, worker_slot);
+  return T::argmax_rows(logits->value()).front();
+}
+
+tensor::Tensor MethodBase::eval_feature(std::size_t worker_slot,
+                                        const tensor::Tensor& image) {
+  // The post-attention class token under the plain (prompt-free) forward —
+  // a method-agnostic embedding, so Figure 5/6 comparisons are apples to
+  // apples across methods.
+  const auto out = replica(worker_slot).net.forward(image);
+  return out.cls->value().reshaped({out.cls->value().numel()});
+}
+
+autograd::Var MethodBase::batch_loss(Replica& rep,
+                                     const std::vector<TaggedSample>& batch,
+                                     const fed::TrainJob&, std::size_t) {
+  AG::Var total;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto out = rep.net.forward(batch[i].sample->image);
+    const AG::Var ce =
+        AG::cross_entropy_logits(out.logits, {batch[i].sample->label});
+    total = (i == 0) ? ce : AG::add(total, ce);
+  }
+  return AG::mul_scalar(total, 1.0f / static_cast<float>(batch.size()));
+}
+
+void MethodBase::post_backward(Replica&, const fed::TrainJob&, std::size_t) {}
+
+autograd::Var MethodBase::eval_logits(Replica& rep, const tensor::Tensor& image,
+                                      std::size_t) {
+  return rep.net.forward(image).logits;
+}
+
+}  // namespace reffil::cl

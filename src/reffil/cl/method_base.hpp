@@ -1,0 +1,133 @@
+// Shared implementation skeleton for every continual-learning method.
+//
+// MethodBase owns the global model state and a pool of per-worker replicas.
+// It implements the federated mechanics once — broadcast serialization,
+// local SGD epochs, FedAvg aggregation, evaluation — and exposes small
+// virtual hooks where each strategy differs: the per-batch loss, extra
+// broadcast/update payload fields, gradient post-processing, and the
+// evaluation forward pass.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reffil/fed/fedavg.hpp"
+#include "reffil/fed/method.hpp"
+#include "reffil/nn/backbone.hpp"
+#include "reffil/nn/optimizer.hpp"
+
+namespace reffil::cl {
+
+struct MethodConfig {
+  nn::PromptNetConfig net;
+  std::size_t parallelism = 4;   ///< number of worker replicas
+  std::size_t batch_size = 16;
+  float momentum = 0.9f;
+  float clip_norm = 5.0f;  ///< global gradient clip (stability at few rounds)
+  std::uint64_t seed = 7;
+  std::size_t max_tasks = 8;     ///< upper bound on task count (key tables)
+};
+
+/// Everything trainable one worker owns. Subclass replicas add modules; all
+/// modules returned by modules() participate in snapshot/load/FedAvg, in a
+/// fixed order identical across workers and the server.
+class Replica {
+ public:
+  Replica(const MethodConfig& config, util::Rng& rng) : net(config.net, rng) {}
+  virtual ~Replica() = default;
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  nn::PromptNet net;
+
+  virtual std::vector<nn::Module*> modules() { return {&net}; }
+
+  fed::ModelState snapshot();
+  void load(const fed::ModelState& state);
+  std::vector<autograd::Var> parameters();
+};
+
+class MethodBase : public fed::Method {
+ public:
+  MethodBase(std::string name, MethodConfig config);
+
+  std::string name() const override { return name_; }
+  void on_task_start(std::size_t task) override;
+  std::vector<std::uint8_t> make_broadcast() override;
+  fed::ClientUpdate train_client(const std::vector<std::uint8_t>& broadcast,
+                                 const fed::TrainJob& job) override;
+  void aggregate(const std::vector<fed::ClientUpdate>& updates) override;
+  void prepare_eval() override;
+  std::size_t predict(std::size_t worker_slot,
+                      const tensor::Tensor& image) override;
+  tensor::Tensor eval_feature(std::size_t worker_slot,
+                              const tensor::Tensor& image) override;
+
+  const fed::ModelState& global_state() const { return global_state_; }
+  const MethodConfig& config() const { return config_; }
+
+ protected:
+  /// Subclasses with extended replicas override this factory. Called from
+  /// init_workers(), which subclass constructors must invoke.
+  virtual std::unique_ptr<Replica> make_replica(util::Rng& rng);
+
+  /// Build the worker pool and the initial global state; must be called at
+  /// the end of every (most-derived) constructor.
+  void init_workers();
+
+  // ---- extension hooks -------------------------------------------------------
+  /// Append method extras to the server broadcast.
+  virtual void write_broadcast_extras(util::ByteWriter&) {}
+  /// Parse those extras on the client (per worker slot).
+  virtual void read_broadcast_extras(util::ByteReader&, std::size_t slot);
+  /// Append client extras (e.g. local prompt groups) to the update payload.
+  virtual void write_update_extras(util::ByteWriter&, Replica&,
+                                   const fed::TrainJob&) {}
+  /// Parse client extras on the server during aggregation.
+  virtual void read_update_extras(util::ByteReader&, const fed::ClientUpdate&);
+  /// Called after FedAvg each round (e.g. prompt clustering).
+  virtual void after_aggregate() {}
+
+  /// A training sample together with the task its domain belongs to (old
+  /// shards carry task-1) — prompt methods key task-conditional state off it.
+  struct TaggedSample {
+    const data::Sample* sample = nullptr;
+    std::size_t task = 0;
+  };
+
+  /// The per-batch training loss. Default: plain cross-entropy with no
+  /// prompts (the Finetune baseline).
+  virtual autograd::Var batch_loss(Replica& replica,
+                                   const std::vector<TaggedSample>& batch,
+                                   const fed::TrainJob& job, std::size_t slot);
+
+  /// Called after backward() and before the optimizer step (e.g. to add the
+  /// EWC penalty gradient).
+  virtual void post_backward(Replica& replica, const fed::TrainJob& job,
+                             std::size_t slot);
+
+  /// Called once before the local epochs start / after they finish.
+  virtual void on_client_begin(Replica&, const fed::TrainJob&, std::size_t) {}
+  virtual void on_client_end(Replica&, const fed::TrainJob&, std::size_t) {}
+
+  /// Evaluation logits for one image. Default: prompt-free forward.
+  virtual autograd::Var eval_logits(Replica& replica,
+                                    const tensor::Tensor& image,
+                                    std::size_t slot);
+
+  /// Assemble the local training view for a job (U_n: new, U_o: old,
+  /// U_b: old ++ new per Algorithm 1 line 13), tagging each sample with the
+  /// task its domain was introduced in.
+  static std::vector<TaggedSample> local_view(const fed::TrainJob& job);
+
+  Replica& replica(std::size_t slot);
+
+  std::string name_;
+  MethodConfig config_;
+  fed::ModelState global_state_;
+  std::vector<std::unique_ptr<Replica>> workers_;
+  std::size_t current_task_ = 0;
+};
+
+}  // namespace reffil::cl

@@ -1,0 +1,35 @@
+// Shared helpers for prompt-based methods (FedL2P, FedDualPrompt, RefFiL):
+// query extraction, pool selection, and key-pull losses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/autograd/ops.hpp"
+#include "reffil/nn/backbone.hpp"
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::cl {
+
+/// L2P-style query: the mean patch-token embedding of the input (value only,
+/// no gradient — selection is not differentiated through).
+tensor::Tensor prompt_query(const nn::PromptNet& net, const tensor::Tensor& image);
+
+/// Indices of the top-k rows of `keys` ([N, d] value tensor) by cosine
+/// similarity to `query` ([d]). k is clamped to N.
+std::vector<std::size_t> top_k_by_cosine(const tensor::Tensor& keys,
+                                         const tensor::Tensor& query,
+                                         std::size_t k);
+
+/// Gather rows of a [N, d] table Var into a [|indices|, d] prompt Var
+/// (differentiable w.r.t. the table).
+autograd::Var gather_rows(const autograd::Var& table,
+                          const std::vector<std::size_t>& indices);
+
+/// Key-pull loss: sum over selected keys of (1 - cos(key, query)). Pulls the
+/// chosen keys toward the query distribution that selects them.
+autograd::Var key_pull_loss(const autograd::Var& keys,
+                            const std::vector<std::size_t>& indices,
+                            const tensor::Tensor& query);
+
+}  // namespace reffil::cl

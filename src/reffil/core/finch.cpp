@@ -1,0 +1,134 @@
+#include "reffil/core/finch.hpp"
+
+#include <numeric>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::core {
+
+namespace T = reffil::tensor;
+
+namespace {
+
+// Union-find over point indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+FinchPartition finch_first_partition(const std::vector<T::Tensor>& points) {
+  const std::size_t n = points.size();
+  REFFIL_CHECK_MSG(n > 0, "finch: no points");
+  FinchPartition partition;
+  if (n == 1) {
+    partition.labels = {0};
+    partition.num_clusters = 1;
+    return partition;
+  }
+  for (const auto& p : points) {
+    REFFIL_CHECK_MSG(p.numel() == points.front().numel(),
+                     "finch: inconsistent point dimensions");
+  }
+
+  // Nearest neighbour by highest cosine similarity.
+  std::vector<std::size_t> nearest(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float best = -2.0f;
+    std::size_t best_j = (i + 1) % n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float sim = T::cosine_similarity(points[i], points[j]);
+      if (sim > best) {
+        best = sim;
+        best_j = j;
+      }
+    }
+    nearest[i] = best_j;
+  }
+
+  // Eq. (4): link m—c_m; "c_m = c_j" transitivity is captured by the union
+  // of the first-neighbour edges (shared neighbours end up in one set).
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i < n; ++i) sets.unite(i, nearest[i]);
+
+  // Compact component ids.
+  partition.labels.assign(n, 0);
+  std::vector<std::size_t> root_to_label(n, n);
+  std::size_t next_label = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = sets.find(i);
+    if (root_to_label[root] == n) root_to_label[root] = next_label++;
+    partition.labels[i] = root_to_label[root];
+  }
+  partition.num_clusters = next_label;
+  return partition;
+}
+
+std::vector<T::Tensor> cluster_means(const std::vector<T::Tensor>& points,
+                                     const FinchPartition& partition) {
+  REFFIL_CHECK_MSG(points.size() == partition.labels.size(),
+                   "cluster_means: label count mismatch");
+  std::vector<T::Tensor> means(partition.num_clusters,
+                               T::Tensor(points.front().shape()));
+  std::vector<std::size_t> counts(partition.num_clusters, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    T::add_inplace(means[partition.labels[i]], points[i]);
+    ++counts[partition.labels[i]];
+  }
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    REFFIL_CHECK_MSG(counts[c] > 0, "cluster_means: empty cluster");
+    T::scale_inplace(means[c], 1.0f / static_cast<float>(counts[c]));
+  }
+  return means;
+}
+
+std::vector<FinchPartition> finch_hierarchy(const std::vector<T::Tensor>& points) {
+  std::vector<FinchPartition> levels;
+  std::vector<T::Tensor> current = points;
+  // Mapping from original points to current-level clusters.
+  std::vector<std::size_t> assignment(points.size());
+  std::iota(assignment.begin(), assignment.end(), std::size_t{0});
+  bool first = true;
+
+  for (;;) {
+    FinchPartition level = finch_first_partition(current);
+    // Express this level's labels in terms of the original points.
+    FinchPartition composed;
+    composed.num_clusters = level.num_clusters;
+    composed.labels.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      composed.labels[i] = level.labels[first ? i : assignment[i]];
+    }
+    const std::size_t previous = current.size();
+    current = cluster_means(current, level);
+    assignment = composed.labels;
+    levels.push_back(std::move(composed));
+    first = false;
+    if (current.size() >= previous || current.size() <= 1) break;
+  }
+  return levels;
+}
+
+std::vector<T::Tensor> finch_representatives(const std::vector<T::Tensor>& prompts) {
+  if (prompts.empty()) return {};
+  const FinchPartition partition = finch_first_partition(prompts);
+  return cluster_means(prompts, partition);
+}
+
+}  // namespace reffil::core

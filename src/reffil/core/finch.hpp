@@ -1,0 +1,43 @@
+// FINCH: first-neighbor clustering (Sarfraz et al., CVPR 2019), the
+// parameter-free algorithm RefFiL's server uses to group uploaded prompts by
+// domain (paper Eq. 4-5).
+//
+// The first partition links every point to its nearest neighbour (here by
+// highest cosine similarity) and takes connected components of the adjacency
+//   A(m, j) = 1  iff  j = c_m  or  m = c_j  or  c_m = c_j        (Eq. 4)
+// Recursing on cluster means yields successively coarser partitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::core {
+
+/// One flat partition: cluster id per point, ids in [0, num_clusters).
+struct FinchPartition {
+  std::vector<std::size_t> labels;
+  std::size_t num_clusters = 0;
+};
+
+/// First-neighbor partition of the given points (each a [d] tensor, all the
+/// same dimension). Cosine similarity; singleton input => one cluster.
+FinchPartition finch_first_partition(const std::vector<tensor::Tensor>& points);
+
+/// Full FINCH hierarchy: partition 0 is the first-neighbor partition; each
+/// subsequent level clusters the previous level's means, until no further
+/// merging happens (num_clusters stops decreasing or reaches 1).
+std::vector<FinchPartition> finch_hierarchy(const std::vector<tensor::Tensor>& points);
+
+/// Cluster means of a partition over the original points.
+std::vector<tensor::Tensor> cluster_means(const std::vector<tensor::Tensor>& points,
+                                          const FinchPartition& partition);
+
+/// Convenience for the RefFiL server: cluster the prompts of one class with
+/// FINCH's first partition and return the representative (mean) prompt per
+/// cluster — the Psi mapping of Eq. (5).
+std::vector<tensor::Tensor> finch_representatives(
+    const std::vector<tensor::Tensor>& prompts);
+
+}  // namespace reffil::core

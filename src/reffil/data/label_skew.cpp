@@ -1,0 +1,116 @@
+#include "reffil/data/label_skew.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::data {
+
+double sample_gamma(double shape, util::Rng& rng) {
+  REFFIL_CHECK_MSG(shape > 0.0, "gamma shape must be positive");
+  // Marsaglia–Tsang; boost small shapes via Gamma(a+1) * U^{1/a}.
+  if (shape < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> sample_dirichlet(std::size_t k, double alpha, util::Rng& rng) {
+  REFFIL_CHECK_MSG(k > 0 && alpha > 0.0, "dirichlet needs k>0, alpha>0");
+  std::vector<double> draws(k);
+  double total = 0.0;
+  for (auto& d : draws) {
+    d = sample_gamma(alpha, rng);
+    total += d;
+  }
+  if (total <= 0.0) {  // pathological underflow: fall back to uniform
+    std::fill(draws.begin(), draws.end(), 1.0 / static_cast<double>(k));
+    return draws;
+  }
+  for (auto& d : draws) d /= total;
+  return draws;
+}
+
+std::vector<Dataset> label_skew_partition(const Dataset& pool,
+                                          std::size_t num_clients,
+                                          const LabelSkewConfig& config,
+                                          util::Rng& rng) {
+  REFFIL_CHECK_MSG(num_clients > 0, "label_skew: zero clients");
+  REFFIL_CHECK_MSG(pool.size() >= num_clients * config.min_per_client,
+                   "label_skew: pool too small");
+
+  std::map<std::size_t, std::vector<const Sample*>> by_label;
+  for (const auto& s : pool) by_label[s.label].push_back(&s);
+  for (auto& [label, samples] : by_label) rng.shuffle(samples);
+
+  std::vector<Dataset> shards(num_clients);
+  // For each class, split its samples across clients by a Dirichlet draw.
+  for (auto& [label, samples] : by_label) {
+    const auto proportions = sample_dirichlet(num_clients, config.alpha, rng);
+    // Largest-remainder allocation of this class's samples.
+    std::vector<std::size_t> quota(num_clients, 0);
+    std::vector<double> exact(num_clients);
+    std::size_t assigned = 0;
+    for (std::size_t m = 0; m < num_clients; ++m) {
+      exact[m] = proportions[m] * static_cast<double>(samples.size());
+      quota[m] = static_cast<std::size_t>(std::floor(exact[m]));
+      assigned += quota[m];
+    }
+    while (assigned < samples.size()) {
+      std::size_t best = 0;
+      double best_frac = -1.0;
+      for (std::size_t m = 0; m < num_clients; ++m) {
+        const double frac = exact[m] - std::floor(exact[m]) -
+                            static_cast<double>(quota[m] -
+                                                static_cast<std::size_t>(
+                                                    std::floor(exact[m])));
+        if (frac > best_frac) {
+          best_frac = frac;
+          best = m;
+        }
+      }
+      ++quota[best];
+      ++assigned;
+    }
+    std::size_t read = 0;
+    for (std::size_t m = 0; m < num_clients; ++m) {
+      for (std::size_t i = 0; i < quota[m]; ++i) shards[m].push_back(*samples[read++]);
+    }
+  }
+
+  // Enforce the per-client floor by stealing from the largest shards.
+  for (std::size_t m = 0; m < num_clients; ++m) {
+    while (shards[m].size() < config.min_per_client) {
+      std::size_t donor = 0;
+      for (std::size_t j = 1; j < num_clients; ++j) {
+        if (shards[j].size() > shards[donor].size()) donor = j;
+      }
+      REFFIL_CHECK_MSG(shards[donor].size() > config.min_per_client,
+                       "label_skew: cannot satisfy per-client floor");
+      shards[m].push_back(shards[donor].back());
+      shards[donor].pop_back();
+    }
+  }
+  for (auto& shard : shards) rng.shuffle(shard);
+  return shards;
+}
+
+}  // namespace reffil::data

@@ -1,0 +1,119 @@
+#include "reffil/data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::data {
+
+std::vector<Dataset> quantity_shift_partition(const Dataset& pool,
+                                              std::size_t num_clients,
+                                              const PartitionConfig& config,
+                                              util::Rng& rng) {
+  REFFIL_CHECK_MSG(num_clients > 0, "partition into zero clients");
+  REFFIL_CHECK_MSG(pool.size() >= num_clients * config.min_per_client,
+                   "pool too small for " + std::to_string(num_clients) +
+                       " clients at min " + std::to_string(config.min_per_client));
+
+  // Client size targets: randomized power-law weights.
+  std::vector<double> weights(num_clients);
+  for (std::size_t m = 0; m < num_clients; ++m) {
+    weights[m] = std::pow(static_cast<double>(m + 1), -config.skew);
+  }
+  rng.shuffle(weights);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+
+  const std::size_t spendable =
+      pool.size() - num_clients * config.min_per_client;
+  std::vector<std::size_t> target(num_clients, config.min_per_client);
+  std::size_t assigned = 0;
+  for (std::size_t m = 0; m < num_clients; ++m) {
+    const auto extra = static_cast<std::size_t>(
+        std::floor(weights[m] / total_weight * static_cast<double>(spendable)));
+    target[m] += extra;
+    assigned += extra;
+  }
+  // Distribute rounding remainder round-robin.
+  for (std::size_t r = assigned; r < spendable; ++r) target[r % num_clients] += 1;
+
+  // Deal each class proportionally to client targets (largest-remainder
+  // method), so every client sees every class whenever its target allows at
+  // least one sample per class.
+  std::map<std::size_t, std::vector<const Sample*>> by_label;
+  for (const auto& s : pool) by_label[s.label].push_back(&s);
+  for (auto& [label, samples] : by_label) rng.shuffle(samples);
+
+  std::vector<Dataset> shards(num_clients);
+  for (auto& shard : shards) shard.reserve(pool.size() / num_clients + 1);
+  std::vector<std::size_t> remaining_capacity = target;
+
+  const double pool_size = static_cast<double>(pool.size());
+  const std::size_t num_labels = by_label.size();
+  std::size_t label_index = 0;
+  for (auto& [label, samples] : by_label) {
+    const std::size_t class_count = samples.size();
+    // Each client keeps one slot in reserve per not-yet-dealt class, so a
+    // small client cannot be filled early and starve later classes.
+    const std::size_t reserve = num_labels - label_index - 1;
+    ++label_index;
+    auto available = [&](std::size_t m) {
+      return remaining_capacity[m] > reserve ? remaining_capacity[m] - reserve
+                                             : std::size_t{0};
+    };
+    std::size_t total_available = 0;
+    for (std::size_t m = 0; m < num_clients; ++m) total_available += available(m);
+    const bool honor_reserve = total_available >= class_count;
+
+    auto cap = [&](std::size_t m) {
+      return honor_reserve ? available(m) : remaining_capacity[m];
+    };
+
+    // Fractional quota per client for this class.
+    std::vector<double> exact(num_clients);
+    std::vector<std::size_t> quota(num_clients);
+    std::size_t assigned_in_class = 0;
+    for (std::size_t m = 0; m < num_clients; ++m) {
+      exact[m] = static_cast<double>(target[m]) * class_count / pool_size;
+      quota[m] = std::min(cap(m), static_cast<std::size_t>(std::floor(exact[m])));
+      assigned_in_class += quota[m];
+    }
+    // Distribute the remainder by largest fractional part, bounded by
+    // per-client capacity.
+    std::vector<std::size_t> order(num_clients);
+    for (std::size_t m = 0; m < num_clients; ++m) order[m] = m;
+    rng.shuffle(order);  // randomize tie-breaks
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return exact[a] - std::floor(exact[a]) > exact[b] - std::floor(exact[b]);
+    });
+    std::size_t cursor = 0;
+    while (assigned_in_class < class_count) {
+      bool progressed = false;
+      for (std::size_t step = 0; step < num_clients && assigned_in_class < class_count;
+           ++step) {
+        const std::size_t m = order[(cursor + step) % num_clients];
+        if (quota[m] < cap(m)) {
+          ++quota[m];
+          ++assigned_in_class;
+          progressed = true;
+        }
+      }
+      cursor = (cursor + 1) % num_clients;
+      if (!progressed) throw Error("partition: no client with remaining capacity");
+    }
+    // Hand out the samples.
+    std::size_t read = 0;
+    for (std::size_t m = 0; m < num_clients; ++m) {
+      for (std::size_t i = 0; i < quota[m]; ++i) {
+        shards[m].push_back(*samples[read++]);
+      }
+      remaining_capacity[m] -= quota[m];
+    }
+  }
+  for (auto& shard : shards) rng.shuffle(shard);
+  return shards;
+}
+
+}  // namespace reffil::data

@@ -1,0 +1,27 @@
+// Quantity-shift non-IID partitioning (Appendix A: clients share the label
+// space — "equal number of classes" — but hold very different sample counts).
+#pragma once
+
+#include <vector>
+
+#include "reffil/data/generator.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace reffil::data {
+
+struct PartitionConfig {
+  /// Power-law exponent for client sizes: larger = more skew. 0 = uniform.
+  double skew = 1.0;
+  /// Minimum samples per client (keeps every client trainable).
+  std::size_t min_per_client = 4;
+};
+
+/// Split a pool into `num_clients` shards. Every shard gets samples of every
+/// class the pool contains (when capacity allows, classes are dealt
+/// round-robin), but shard sizes follow a randomized power law.
+std::vector<Dataset> quantity_shift_partition(const Dataset& pool,
+                                              std::size_t num_clients,
+                                              const PartitionConfig& config,
+                                              util::Rng& rng);
+
+}  // namespace reffil::data

@@ -1,0 +1,83 @@
+// Dataset specifications mirroring the paper's four evaluation corpora.
+//
+// The real corpora (Digits-Five, OfficeCaltech10, PACS, FedDomainNet) are
+// image collections we cannot ship; each spec below preserves the structure
+// that drives the paper's phenomena — class count, domain count, relative
+// domain sizes, relative domain difficulty, and the order domains arrive in
+// (both the paper's original order and the permuted order of Tables 2/4) —
+// while sample counts are scaled so a full FDIL run fits in CPU seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reffil::data {
+
+struct DomainSpec {
+  std::string name;
+  std::size_t train_samples = 200;  ///< per-domain training pool (scaled)
+  std::size_t test_samples = 80;    ///< held-out evaluation set
+  /// Pixel noise stddev — the main difficulty knob; calibrated so domains
+  /// the paper finds hard (e.g. SYN, DSLR, Sketch) are hard here too.
+  float noise = 0.25f;
+  /// Strength of the domain-specific structured clutter added to images.
+  float clutter = 0.6f;
+  /// Strength of the domain's style shift (how far its rendering of a class
+  /// sits from the shared rendering) — the forgetting driver.
+  float style_shift = 1.0f;
+  /// Fraction of the rendering that is domain-private: pixels are produced by
+  /// ((1-mix)*W_shared + mix*V_d) u. Higher = classifier features learned on
+  /// one domain transfer less, so fine-tuning on a new domain overwrites
+  /// them — the paper's catastrophic-forgetting driver.
+  float render_mix = 0.5f;
+  /// Position of this domain in the dataset's canonical order. The
+  /// generator keys each domain's generative parameters and sample streams
+  /// off this id, so permuting the task order (Tables 2/4) changes only the
+  /// order — every domain keeps the same data.
+  std::size_t stream_id = 0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t num_classes = 10;
+  std::vector<DomainSpec> domains;  ///< in the paper's original task order
+  std::uint64_t seed = 1234;        ///< generative-model seed
+
+  // Federated configuration from Section 4.1.
+  std::size_t initial_clients = 20;     ///< clients at task 1
+  std::size_t clients_per_round = 10;   ///< sampled per round
+  std::size_t client_increment = 2;     ///< new clients per new task
+  std::size_t rounds_per_task = 4;      ///< R (paper: 30, scaled)
+  std::size_t local_epochs = 2;         ///< E (paper: 20, scaled)
+  float learning_rate = 0.03f;
+
+  std::size_t num_tasks() const { return domains.size(); }
+};
+
+/// Digits-Five: 10 classes, 5 domains
+/// (MNIST, MNIST-M, USPS, SVHN, SYN order of Table 3).
+DatasetSpec digits_five_spec();
+
+/// OfficeCaltech10: 10 classes, 4 domains (Amazon, Caltech, Webcam, DSLR).
+DatasetSpec office_caltech10_spec();
+
+/// PACS: 7 classes, 4 domains (Photo, Cartoon, Sketch, Art Painting).
+DatasetSpec pacs_spec();
+
+/// FedDomainNet: 48 classes, 6 domains (Clipart, Infograph, Painting,
+/// Quickdraw, Real, Sketch). Class count scaled to 12 to keep the
+/// classifier small; relative difficulty preserved.
+DatasetSpec fed_domainnet_spec();
+
+/// All four specs in the paper's presentation order.
+std::vector<DatasetSpec> all_dataset_specs();
+
+/// The permuted domain orders used by Tables 2 and 4 (indices into the
+/// original spec's domain list).
+std::vector<std::size_t> new_domain_order(const std::string& dataset_name);
+
+/// Reorder a spec's domains (for the Table 2/4 experiments).
+DatasetSpec with_domain_order(DatasetSpec spec, const std::vector<std::size_t>& order);
+
+}  // namespace reffil::data

@@ -1,0 +1,84 @@
+#include "reffil/data/streaming.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::data {
+
+StreamingCurriculum::StreamingCurriculum(DatasetSpec base,
+                                         std::vector<StreamingTask> tasks)
+    : base_(std::move(base)), tasks_(std::move(tasks)), source_(base_) {
+  REFFIL_CHECK_MSG(!tasks_.empty(), "streaming curriculum needs tasks");
+  for (const auto& task : tasks_) {
+    REFFIL_CHECK_MSG(task.domain_index < base_.domains.size(),
+                     "streaming task references unknown domain");
+    REFFIL_CHECK_MSG(!task.classes.empty(), "streaming task has no classes");
+    std::set<std::size_t> unique(task.classes.begin(), task.classes.end());
+    REFFIL_CHECK_MSG(unique.size() == task.classes.size(),
+                     "streaming task has duplicate classes");
+    REFFIL_CHECK_MSG(*unique.rbegin() < base_.num_classes,
+                     "streaming task class out of range");
+  }
+  // Build the runner-facing spec: one pseudo-domain per stream task, reusing
+  // the underlying domain's sizing knobs.
+  runner_spec_ = base_;
+  runner_spec_.domains.clear();
+  for (const auto& task : tasks_) {
+    DomainSpec pseudo = base_.domains[task.domain_index];
+    pseudo.name = task.name.empty()
+                      ? base_.domains[task.domain_index].name + "+" +
+                            std::to_string(task.classes.size()) + "cls"
+                      : task.name;
+    runner_spec_.domains.push_back(std::move(pseudo));
+  }
+}
+
+const StreamingTask& StreamingCurriculum::task(std::size_t index) const {
+  REFFIL_CHECK_MSG(index < tasks_.size(), "streaming task index out of range");
+  return tasks_[index];
+}
+
+Dataset StreamingCurriculum::filter(Dataset samples, std::size_t task_index) const {
+  const auto& allowed = tasks_[task_index].classes;
+  Dataset kept;
+  kept.reserve(samples.size());
+  for (auto& sample : samples) {
+    if (std::find(allowed.begin(), allowed.end(), sample.label) != allowed.end()) {
+      kept.push_back(std::move(sample));
+    }
+  }
+  REFFIL_CHECK_MSG(!kept.empty(), "streaming task filtered to empty dataset");
+  return kept;
+}
+
+Dataset StreamingCurriculum::train_split(std::size_t task_index) const {
+  REFFIL_CHECK_MSG(task_index < tasks_.size(), "task out of range");
+  return filter(source_.train_split(tasks_[task_index].domain_index), task_index);
+}
+
+Dataset StreamingCurriculum::test_split(std::size_t task_index) const {
+  REFFIL_CHECK_MSG(task_index < tasks_.size(), "task out of range");
+  return filter(source_.test_split(tasks_[task_index].domain_index), task_index);
+}
+
+std::shared_ptr<StreamingCurriculum> make_growing_stream(
+    const DatasetSpec& base, std::size_t initial_classes,
+    std::size_t classes_per_task) {
+  REFFIL_CHECK_MSG(initial_classes >= 1 && initial_classes <= base.num_classes,
+                   "initial class count out of range");
+  std::vector<StreamingTask> tasks;
+  std::size_t class_count = initial_classes;
+  for (std::size_t d = 0; d < base.domains.size(); ++d) {
+    StreamingTask task;
+    task.domain_index = d;
+    for (std::size_t k = 0; k < class_count; ++k) task.classes.push_back(k);
+    task.name = base.domains[d].name + "/" + std::to_string(class_count) + "cls";
+    tasks.push_back(std::move(task));
+    class_count = std::min(base.num_classes, class_count + classes_per_task);
+  }
+  return std::make_shared<StreamingCurriculum>(base, std::move(tasks));
+}
+
+}  // namespace reffil::data

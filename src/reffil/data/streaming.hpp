@@ -1,0 +1,59 @@
+// Streaming domain+class-incremental curricula — the paper's future-work
+// extension ("federated learning from streaming data presents the
+// additional challenge of sequentially learning from both new domains and
+// new classes", Appendix E).
+//
+// A StreamingCurriculum maps each task to (domain style, class subset): a
+// task can introduce a new domain, new classes, or both. It plugs into the
+// FederatedRunner through the TaskSource interface; all methods run
+// unchanged (the classifier is sized for the full label space up front).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "reffil/data/generator.hpp"
+#include "reffil/fed/runtime.hpp"
+
+namespace reffil::data {
+
+struct StreamingTask {
+  std::size_t domain_index = 0;       ///< which domain style renders the task
+  std::vector<std::size_t> classes;   ///< classes present in this task
+  std::string name;                   ///< display name
+};
+
+class StreamingCurriculum : public fed::TaskSource {
+ public:
+  /// `base` provides the generative model (classes = full label space);
+  /// `tasks` define the stream. Every task's classes must be within range
+  /// and its domain index within the base spec's domains.
+  StreamingCurriculum(DatasetSpec base, std::vector<StreamingTask> tasks);
+
+  Dataset train_split(std::size_t task) const override;
+  Dataset test_split(std::size_t task) const override;
+
+  /// DatasetSpec view for the FederatedRunner: one pseudo-domain per task
+  /// with the task's name (the runner sizes its task loop from this).
+  const DatasetSpec& runner_spec() const { return runner_spec_; }
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const StreamingTask& task(std::size_t index) const;
+
+ private:
+  Dataset filter(Dataset samples, std::size_t task) const;
+
+  DatasetSpec base_;
+  std::vector<StreamingTask> tasks_;
+  DatasetSpec runner_spec_;
+  SyntheticDomainSource source_;
+};
+
+/// Convenience factory: a stream over `base` that walks the domains in
+/// order while growing the label space by `classes_per_task` each task
+/// (clamped to the full label space).
+std::shared_ptr<StreamingCurriculum> make_growing_stream(
+    const DatasetSpec& base, std::size_t initial_classes,
+    std::size_t classes_per_task);
+
+}  // namespace reffil::data

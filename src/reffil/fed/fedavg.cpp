@@ -1,0 +1,59 @@
+#include "reffil/fed/fedavg.hpp"
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::fed {
+
+ModelState federated_average(const std::vector<ModelState>& states,
+                             const std::vector<double>& weights) {
+  REFFIL_CHECK_MSG(!states.empty(), "federated_average: no states");
+  REFFIL_CHECK_MSG(states.size() == weights.size(),
+                   "federated_average: weight count mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    REFFIL_CHECK_MSG(w >= 0.0, "federated_average: negative weight");
+    total += w;
+  }
+  REFFIL_CHECK_MSG(total > 0.0, "federated_average: all-zero weights");
+
+  const std::size_t num_tensors = states.front().size();
+  for (const auto& state : states) {
+    REFFIL_CHECK_MSG(state.size() == num_tensors,
+                     "federated_average: ragged states");
+  }
+
+  ModelState result;
+  result.reserve(num_tensors);
+  for (std::size_t t = 0; t < num_tensors; ++t) {
+    tensor::Tensor acc(states.front()[t].shape());
+    for (std::size_t m = 0; m < states.size(); ++m) {
+      if (states[m][t].shape() != acc.shape()) {
+        throw ShapeError("federated_average: tensor " + std::to_string(t) +
+                         " shape mismatch across clients");
+      }
+      tensor::axpy_inplace(acc, static_cast<float>(weights[m] / total),
+                           states[m][t]);
+    }
+    result.push_back(std::move(acc));
+  }
+  return result;
+}
+
+void serialize_state(const ModelState& state, util::ByteWriter& writer) {
+  writer.write_u64(state.size());
+  for (const auto& t : state) t.serialize(writer);
+}
+
+ModelState deserialize_state(util::ByteReader& reader) {
+  const auto n = reader.read_u64();
+  if (n > 1'000'000) throw SerializationError("implausible state tensor count");
+  ModelState state;
+  state.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    state.push_back(tensor::Tensor::deserialize(reader));
+  }
+  return state;
+}
+
+}  // namespace reffil::fed

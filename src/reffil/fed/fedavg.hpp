@@ -1,0 +1,24 @@
+// FedAvg aggregation (McMahan et al. 2017), used by Algorithm 1 line 7:
+//   theta^{r+1} = sum_m (|D_m| / |D|) * theta_m^r
+#pragma once
+
+#include <vector>
+
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::fed {
+
+/// A model's parameter tensors in registration order (Module::snapshot()).
+using ModelState = std::vector<tensor::Tensor>;
+
+/// Weighted average of client states. Weights are normalized internally;
+/// they are typically client sample counts. All states must have identical
+/// structure (same tensor count and shapes).
+ModelState federated_average(const std::vector<ModelState>& states,
+                             const std::vector<double>& weights);
+
+/// Serialize / deserialize a full model state (used for broadcast payloads).
+void serialize_state(const ModelState& state, util::ByteWriter& writer);
+ModelState deserialize_state(util::ByteReader& reader);
+
+}  // namespace reffil::fed

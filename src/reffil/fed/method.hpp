@@ -1,0 +1,78 @@
+// The Method interface every continual-learning strategy implements.
+//
+// The federated runner is method-agnostic: it plans rounds, moves serialized
+// bytes between the (simulated) server and clients, meters traffic, and asks
+// the method for predictions at evaluation time. Everything algorithmic —
+// local losses, aggregation beyond FedAvg, prompt machinery — lives behind
+// this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reffil/data/generator.hpp"
+#include "reffil/fed/scheduler.hpp"
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::fed {
+
+/// One client's local-training assignment for a round.
+struct TrainJob {
+  std::size_t worker_slot = 0;  ///< replica index, [0, parallelism)
+  std::size_t client_id = 0;
+  std::size_t task = 0;         ///< current incremental task (0-based)
+  std::size_t round = 0;        ///< communication round within the task
+  std::size_t total_rounds = 1; ///< rounds per task (R)
+  ClientGroup group = ClientGroup::kNew;
+  const data::Dataset* new_data = nullptr;  ///< shard of the current domain
+  const data::Dataset* old_data = nullptr;  ///< shard of the previous domain
+  std::size_t local_epochs = 1;
+  float learning_rate = 0.03f;
+};
+
+/// What a client sends back to the server.
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  std::size_t num_samples = 0;  ///< FedAvg weight |D_m|
+  std::vector<std::uint8_t> payload;
+};
+
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Notification that incremental task `task` (0-based) is starting. For
+  /// task > 0 this is where regularization methods snapshot teachers etc.
+  virtual void on_task_start(std::size_t task) = 0;
+
+  /// Serialize the server's current state (global model + method extras)
+  /// for broadcast to this round's participants.
+  virtual std::vector<std::uint8_t> make_broadcast() = 0;
+
+  /// Run one client's local training. Called concurrently, one call per
+  /// worker slot at a time — implementations keep per-slot replicas.
+  virtual ClientUpdate train_client(const std::vector<std::uint8_t>& broadcast,
+                                    const TrainJob& job) = 0;
+
+  /// Server-side aggregation of the round's updates (FedAvg + extras).
+  virtual void aggregate(const std::vector<ClientUpdate>& updates) = 0;
+
+  /// Load the current global state into every worker replica for evaluation.
+  virtual void prepare_eval() = 0;
+
+  /// Predict the label of one image with the global model. Called
+  /// concurrently, one call per worker slot at a time, after prepare_eval().
+  virtual std::size_t predict(std::size_t worker_slot,
+                              const tensor::Tensor& image) = 0;
+
+  /// Feature embedding of one image under the global model (the post-
+  /// attention class token) — used by the t-SNE analyses of Figures 5-6.
+  /// Same calling contract as predict().
+  virtual tensor::Tensor eval_feature(std::size_t worker_slot,
+                                      const tensor::Tensor& image) = 0;
+};
+
+}  // namespace reffil::fed

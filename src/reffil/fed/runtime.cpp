@@ -1,0 +1,190 @@
+#include "reffil/fed/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+
+#include "reffil/data/partition.hpp"
+#include "reffil/util/error.hpp"
+#include "reffil/util/logging.hpp"
+#include "reffil/util/thread_pool.hpp"
+
+namespace reffil::fed {
+
+double RunResult::average_accuracy() const {
+  REFFIL_CHECK_MSG(!tasks.empty(), "no task results");
+  double acc = 0.0;
+  for (const auto& t : tasks) acc += t.cumulative_accuracy;
+  return acc / static_cast<double>(tasks.size());
+}
+
+double RunResult::last_accuracy() const {
+  REFFIL_CHECK_MSG(!tasks.empty(), "no task results");
+  return tasks.back().cumulative_accuracy;
+}
+
+FederatedRunner::FederatedRunner(RunConfig config)
+    : config_(std::move(config)), generator_(config_.spec) {
+  parallelism_ = config_.parallelism == 0
+                     ? util::global_thread_pool().size()
+                     : config_.parallelism;
+  test_cache_.resize(config_.spec.domains.size());
+}
+
+const data::Dataset& FederatedRunner::test_set(std::size_t domain) const {
+  REFFIL_CHECK_MSG(domain < test_cache_.size(), "domain out of range");
+  if (test_cache_[domain].empty()) {
+    test_cache_[domain] = config_.source ? config_.source->test_split(domain)
+                                         : generator_.test_split(domain);
+  }
+  return test_cache_[domain];
+}
+
+data::Dataset FederatedRunner::train_pool(std::size_t task) const {
+  return config_.source ? config_.source->train_split(task)
+                        : generator_.train_split(task);
+}
+
+RunResult FederatedRunner::run(Method& method) {
+  const auto& spec = config_.spec;
+  const auto start_time = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.method_name = method.name();
+  result.dataset_name = spec.name;
+
+  ClientIncrementScheduler scheduler(
+      {.initial_clients = spec.initial_clients,
+       .clients_per_round = spec.clients_per_round,
+       .client_increment = spec.client_increment,
+       .transition_fraction = 0.8},
+      config_.seed);
+
+  util::Rng partition_rng(config_.seed ^ 0x9A27171017ULL);
+  util::Rng dropout_rng(config_.seed ^ 0xD20D077ULL);
+  // shards[t][client_id]: client's shard of domain t's training pool.
+  std::vector<std::vector<data::Dataset>> shards(spec.domains.size());
+
+  auto& pool = util::global_thread_pool();
+
+  for (std::size_t task = 0; task < spec.domains.size(); ++task) {
+    method.on_task_start(task);
+
+    // Partition the new domain across the (grown) client population.
+    const std::size_t population = scheduler.clients_at_task(task);
+    shards[task] = data::quantity_shift_partition(
+        train_pool(task), population,
+        {.skew = config_.partition_skew, .min_per_client = 4}, partition_rng);
+
+    for (std::size_t round = 0; round < spec.rounds_per_task; ++round) {
+      RoundPlan plan = scheduler.plan_round(task, round);
+      // Straggler/dropout simulation: drop participants before training so
+      // the federation neither waits for nor aggregates their updates.
+      if (config_.dropout_probability > 0.0) {
+        std::vector<ClientAssignment> alive;
+        for (const auto& assignment : plan.participants) {
+          if (dropout_rng.bernoulli(config_.dropout_probability)) {
+            ++result.network.dropped_updates;
+          } else {
+            alive.push_back(assignment);
+          }
+        }
+        plan.participants = std::move(alive);
+        if (plan.participants.empty()) continue;  // whole round lost
+      }
+      const std::vector<std::uint8_t> broadcast = method.make_broadcast();
+      result.network.bytes_down +=
+          broadcast.size() * plan.participants.size();
+      result.network.messages += plan.participants.size();
+
+      std::vector<ClientUpdate> updates(plan.participants.size());
+      // Workers are indexed by a pre-assigned slot so each replica is used
+      // by exactly one concurrent client.
+      std::vector<std::size_t> slots(plan.participants.size());
+      for (std::size_t i = 0; i < slots.size(); ++i) slots[i] = i % parallelism_;
+
+      // Group jobs by slot to serialize replica reuse.
+      std::vector<std::vector<std::size_t>> by_slot(parallelism_);
+      for (std::size_t i = 0; i < plan.participants.size(); ++i) {
+        by_slot[slots[i]].push_back(i);
+      }
+      pool.parallel_for(parallelism_, [&](std::size_t slot) {
+        for (std::size_t i : by_slot[slot]) {
+          const ClientAssignment& assignment = plan.participants[i];
+          TrainJob job;
+          job.worker_slot = slot;
+          job.client_id = assignment.client_id;
+          job.task = task;
+          job.round = round;
+          job.total_rounds = spec.rounds_per_task;
+          job.group = assignment.group;
+          job.local_epochs = spec.local_epochs;
+          job.learning_rate = spec.learning_rate;
+          if (task == 0 || assignment.group != ClientGroup::kOld) {
+            job.new_data = &shards[task][assignment.client_id];
+          }
+          if (task > 0 && assignment.group != ClientGroup::kNew) {
+            job.old_data = &shards[task - 1][assignment.client_id];
+          }
+          updates[i] = method.train_client(broadcast, job);
+          updates[i].client_id = assignment.client_id;
+        }
+      });
+
+      for (const auto& update : updates) {
+        result.network.bytes_up += update.payload.size();
+        ++result.network.messages;
+      }
+      method.aggregate(updates);
+    }
+
+    evaluate_task(method, task, result);
+    if (config_.after_task) config_.after_task(method, task);
+    REFFIL_LOG_INFO << spec.name << " / " << method.name() << ": task "
+                    << (task + 1) << "/" << spec.domains.size() << " ("
+                    << spec.domains[task].name << ") step-acc "
+                    << result.tasks.back().cumulative_accuracy;
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return result;
+}
+
+void FederatedRunner::evaluate_task(Method& method, std::size_t task,
+                                    RunResult& result) {
+  method.prepare_eval();
+  TaskResult task_result;
+  task_result.task = task;
+  task_result.domain_name = config_.spec.domains[task].name;
+
+  std::size_t total_correct = 0, total_count = 0;
+  auto& pool = util::global_thread_pool();
+  for (std::size_t d = 0; d <= task; ++d) {
+    const data::Dataset& test = test_set(d);
+    std::atomic<std::size_t> correct{0};
+    // Shard the test set across worker slots (one slot per concurrent call).
+    pool.parallel_for(parallelism_, [&](std::size_t slot) {
+      std::size_t local_correct = 0;
+      for (std::size_t i = slot; i < test.size(); i += parallelism_) {
+        if (method.predict(slot, test[i].image) == test[i].label) {
+          ++local_correct;
+        }
+      }
+      correct += local_correct;
+    });
+    task_result.per_domain_accuracy.push_back(
+        100.0 * static_cast<double>(correct.load()) /
+        static_cast<double>(test.size()));
+    total_correct += correct.load();
+    total_count += test.size();
+  }
+  task_result.cumulative_accuracy =
+      100.0 * static_cast<double>(total_correct) /
+      static_cast<double>(total_count);
+  result.tasks.push_back(std::move(task_result));
+}
+
+}  // namespace reffil::fed

@@ -1,0 +1,76 @@
+#include "reffil/fed/scheduler.hpp"
+
+#include <algorithm>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::fed {
+
+const char* to_string(ClientGroup group) {
+  switch (group) {
+    case ClientGroup::kNew: return "U_n";
+    case ClientGroup::kInBetween: return "U_b";
+    case ClientGroup::kOld: return "U_o";
+  }
+  return "?";
+}
+
+ClientIncrementScheduler::ClientIncrementScheduler(SchedulerConfig config,
+                                                   std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  REFFIL_CHECK_MSG(config.initial_clients > 0, "scheduler: no initial clients");
+  REFFIL_CHECK_MSG(config.clients_per_round > 0, "scheduler: zero per round");
+  REFFIL_CHECK_MSG(config.clients_per_round <= config.initial_clients,
+                   "scheduler: cannot select more clients than exist");
+  REFFIL_CHECK_MSG(
+      config.transition_fraction >= 0.0 && config.transition_fraction <= 1.0,
+      "scheduler: transition fraction must be in [0,1]");
+}
+
+std::size_t ClientIncrementScheduler::clients_at_task(std::size_t task) const {
+  return config_.initial_clients + task * config_.client_increment;
+}
+
+std::size_t ClientIncrementScheduler::join_task(std::size_t client_id) const {
+  if (client_id < config_.initial_clients) return 0;
+  if (config_.client_increment == 0) {
+    throw ConfigError("client id beyond initial population with zero increment");
+  }
+  return (client_id - config_.initial_clients) / config_.client_increment + 1;
+}
+
+RoundPlan ClientIncrementScheduler::plan_round(std::size_t task,
+                                               std::size_t round) {
+  const std::size_t population = clients_at_task(task);
+  const auto selected =
+      rng_.sample_without_replacement(population, config_.clients_per_round);
+
+  RoundPlan plan;
+  plan.task = task;
+  plan.round = round;
+  plan.participants.reserve(selected.size());
+
+  // Old clients (joined before this task) transition with probability 80%
+  // (redrawn each round, as the paper specifies): a transitioned client now
+  // trains on the new domain only — its old-task data is gone, which is what
+  // makes the setting rehearsal-free. The non-transitioned minority splits
+  // between U_b (mid-transition, holds old + new per Algorithm 1 line 13)
+  // and U_o (still exclusively on the previous domain). Task 0 has no old
+  // domains, so everyone is U_n.
+  for (std::size_t client_id : selected) {
+    ClientAssignment assignment;
+    assignment.client_id = client_id;
+    if (task == 0 || join_task(client_id) == task ||
+        rng_.bernoulli(config_.transition_fraction)) {
+      assignment.group = ClientGroup::kNew;
+    } else if (rng_.bernoulli(0.5)) {
+      assignment.group = ClientGroup::kInBetween;
+    } else {
+      assignment.group = ClientGroup::kOld;
+    }
+    plan.participants.push_back(assignment);
+  }
+  return plan;
+}
+
+}  // namespace reffil::fed

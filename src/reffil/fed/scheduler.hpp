@@ -1,0 +1,61 @@
+// Client-increment scheduler (paper Appendix A, "Client increment strategy").
+//
+// The client population grows with each incremental task; at every round the
+// selected participants are partitioned into three groups:
+//   U_n  "new"        — joined at the current task, only has new-domain data
+//   U_b  "in-between" — transitioned old client, trains on old + new data
+//                       (Algorithm 1 lines 12-13: D_m = concat(D^{t-1}, D^t))
+//   U_o  "old"        — old client that has not transitioned; trains only on
+//                       its previous-domain data
+// 80% of old clients transition per task (Section 4.1); the composition is
+// randomly redrawn every round, as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/util/rng.hpp"
+
+namespace reffil::fed {
+
+enum class ClientGroup { kNew, kInBetween, kOld };
+
+const char* to_string(ClientGroup group);
+
+struct ClientAssignment {
+  std::size_t client_id = 0;
+  ClientGroup group = ClientGroup::kNew;
+};
+
+struct RoundPlan {
+  std::size_t task = 0;
+  std::size_t round = 0;
+  std::vector<ClientAssignment> participants;
+};
+
+struct SchedulerConfig {
+  std::size_t initial_clients = 20;
+  std::size_t clients_per_round = 10;
+  std::size_t client_increment = 2;
+  double transition_fraction = 0.8;  ///< share of old clients that move on
+};
+
+class ClientIncrementScheduler {
+ public:
+  ClientIncrementScheduler(SchedulerConfig config, std::uint64_t seed);
+
+  /// Total clients present during task t (0-based).
+  std::size_t clients_at_task(std::size_t task) const;
+
+  /// The task at which a client joined the federation (0-based).
+  std::size_t join_task(std::size_t client_id) const;
+
+  /// Draw the participant set and group assignment for one round.
+  RoundPlan plan_round(std::size_t task, std::size_t round);
+
+ private:
+  SchedulerConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace reffil::fed

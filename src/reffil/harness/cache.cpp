@@ -1,0 +1,122 @@
+#include "reffil/harness/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "reffil/util/error.hpp"
+#include "reffil/util/logging.hpp"
+
+namespace reffil::harness {
+
+namespace fs = std::filesystem;
+
+std::string cache_directory() {
+  const char* env = std::getenv("REFFIL_CACHE_DIR");
+  std::string dir = env != nullptr ? env : "reffil_cache";
+  if (dir == "off") return dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; load/store handle failure
+  return dir;
+}
+
+bool cache_enabled() {
+  const char* env = std::getenv("REFFIL_CACHE_DIR");
+  return env == nullptr || std::string(env) != "off";
+}
+
+std::string cache_key(const std::string& dataset_name,
+                      const std::string& domain_order_tag,
+                      const std::string& method_name, std::uint64_t seed,
+                      const std::string& scale_tag) {
+  // FNV-1a over the identifying string keeps file names short and safe.
+  const std::string id = dataset_name + "|" + domain_order_tag + "|" +
+                         method_name + "|" + std::to_string(seed) + "|" +
+                         scale_tag;
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : id) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buffer) + ".cell";
+}
+
+void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer) {
+  writer.write_string(result.method_name);
+  writer.write_string(result.dataset_name);
+  writer.write_u64(result.tasks.size());
+  for (const auto& task : result.tasks) {
+    writer.write_u64(task.task);
+    writer.write_string(task.domain_name);
+    writer.write_u64(task.per_domain_accuracy.size());
+    for (double a : task.per_domain_accuracy) writer.write_f64(a);
+    writer.write_f64(task.cumulative_accuracy);
+  }
+  writer.write_u64(result.network.bytes_down);
+  writer.write_u64(result.network.bytes_up);
+  writer.write_u64(result.network.messages);
+  writer.write_f64(result.wall_seconds);
+}
+
+fed::RunResult deserialize_run_result(util::ByteReader& reader) {
+  fed::RunResult result;
+  result.method_name = reader.read_string();
+  result.dataset_name = reader.read_string();
+  const auto num_tasks = reader.read_u64();
+  if (num_tasks > 1000) throw SerializationError("implausible task count");
+  result.tasks.reserve(num_tasks);
+  for (std::uint64_t t = 0; t < num_tasks; ++t) {
+    fed::TaskResult task;
+    task.task = reader.read_u64();
+    task.domain_name = reader.read_string();
+    const auto domains = reader.read_u64();
+    if (domains > 1000) throw SerializationError("implausible domain count");
+    task.per_domain_accuracy.reserve(domains);
+    for (std::uint64_t d = 0; d < domains; ++d) {
+      task.per_domain_accuracy.push_back(reader.read_f64());
+    }
+    task.cumulative_accuracy = reader.read_f64();
+    result.tasks.push_back(std::move(task));
+  }
+  result.network.bytes_down = reader.read_u64();
+  result.network.bytes_up = reader.read_u64();
+  result.network.messages = reader.read_u64();
+  result.wall_seconds = reader.read_f64();
+  return result;
+}
+
+std::optional<fed::RunResult> cache_load(const std::string& key) {
+  if (!cache_enabled()) return std::nullopt;
+  const fs::path path = fs::path(cache_directory()) / key;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  try {
+    util::ByteReader reader(bytes);
+    fed::RunResult result = deserialize_run_result(reader);
+    return result;
+  } catch (const Error&) {
+    REFFIL_LOG_WARN << "discarding corrupt cache entry " << path.string();
+    return std::nullopt;
+  }
+}
+
+void cache_store(const std::string& key, const fed::RunResult& result) {
+  if (!cache_enabled()) return;
+  util::ByteWriter writer;
+  serialize_run_result(result, writer);
+  const fs::path path = fs::path(cache_directory()) / key;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    REFFIL_LOG_WARN << "cannot write cache entry " << path.string();
+    return;
+  }
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.bytes().size()));
+}
+
+}  // namespace reffil::harness

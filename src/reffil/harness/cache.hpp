@@ -1,0 +1,36 @@
+// On-disk experiment-result cache.
+//
+// Several bench binaries share experiment cells (Table 1 and Table 3 are two
+// views of the same runs; Figures 4-6 reuse Table 1's curricula). Each cell
+// — (dataset, domain order, method, seed, scale) — is memoised in a small
+// binary file under REFFIL_CACHE_DIR (default: ./reffil_cache), so running
+// the whole bench suite costs one federated run per unique cell.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "reffil/fed/runtime.hpp"
+
+namespace reffil::harness {
+
+/// Cache directory (creates it on first use). Overridable with the
+/// REFFIL_CACHE_DIR environment variable; caching is disabled entirely when
+/// REFFIL_CACHE_DIR=off.
+std::string cache_directory();
+bool cache_enabled();
+
+/// Stable key for one experiment cell.
+std::string cache_key(const std::string& dataset_name,
+                      const std::string& domain_order_tag,
+                      const std::string& method_name, std::uint64_t seed,
+                      const std::string& scale_tag);
+
+std::optional<fed::RunResult> cache_load(const std::string& key);
+void cache_store(const std::string& key, const fed::RunResult& result);
+
+/// Serialization of RunResult (used by the cache and tested directly).
+void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer);
+fed::RunResult deserialize_run_result(util::ByteReader& reader);
+
+}  // namespace reffil::harness

@@ -1,0 +1,65 @@
+// Experiment harness shared by the bench binaries, examples and tests:
+// a method registry, scale control, and single-call experiment execution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reffil/core/reffil.hpp"
+#include "reffil/data/spec.hpp"
+#include "reffil/fed/runtime.hpp"
+
+namespace reffil::harness {
+
+/// The eight columns of the paper's Tables 1-4.
+enum class MethodKind {
+  kFinetune,
+  kLwf,
+  kEwc,
+  kL2p,
+  kL2pPool,        ///< FedL2P†
+  kDualPrompt,
+  kDualPromptPool, ///< FedDualPrompt†
+  kRefFiL,
+};
+
+std::vector<MethodKind> all_method_kinds();
+std::string method_display_name(MethodKind kind);
+
+/// Execution scale. The paper trains 30 rounds x 20 epochs on a GPU; the
+/// default "scaled" profile keeps every bench binary in CPU seconds while
+/// preserving the protocol. REFFIL_BENCH_SCALE=full doubles depth for
+/// higher-fidelity runs; REFFIL_BENCH_SCALE=smoke shrinks further for CI.
+enum class Scale { kSmoke, kScaled, kFull };
+
+Scale scale_from_env();
+std::string to_string(Scale scale);
+
+/// Apply a scale profile to a dataset spec (rounds, epochs, sample counts).
+data::DatasetSpec apply_scale(data::DatasetSpec spec, Scale scale);
+
+struct ExperimentConfig {
+  std::uint64_t seed = 1;
+  std::size_t parallelism = 2;
+  Scale scale = Scale::kScaled;
+  /// RefFiL component switches (Table 5 ablations; ignored by baselines).
+  core::RefFiLConfig reffil;
+};
+
+/// Build a method instance for the given dataset.
+std::unique_ptr<fed::Method> make_method(MethodKind kind,
+                                         const data::DatasetSpec& spec,
+                                         const ExperimentConfig& config);
+
+/// Run one (dataset, method) cell end to end.
+fed::RunResult run_experiment(const data::DatasetSpec& spec, MethodKind kind,
+                              const ExperimentConfig& config);
+
+/// Run one (dataset, RefFiL-variant) cell with explicit component switches
+/// (for the Table 5 ablation).
+fed::RunResult run_reffil_variant(const data::DatasetSpec& spec,
+                                  const core::RefFiLConfig& reffil,
+                                  const ExperimentConfig& config);
+
+}  // namespace reffil::harness

@@ -1,0 +1,142 @@
+#include "reffil/metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::metrics {
+
+namespace T = reffil::tensor;
+
+namespace {
+// Linear-interpolated quantile of a sorted vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  REFFIL_CHECK(!sorted.empty());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+BoxStats box_stats(std::vector<double> values) {
+  REFFIL_CHECK_MSG(!values.empty(), "box_stats of empty sample");
+  std::sort(values.begin(), values.end());
+  BoxStats stats;
+  stats.q1 = quantile_sorted(values, 0.25);
+  stats.median = quantile_sorted(values, 0.5);
+  stats.q3 = quantile_sorted(values, 0.75);
+  const double iqr = stats.q3 - stats.q1;
+  const double low_fence = stats.q1 - 1.5 * iqr;
+  const double high_fence = stats.q3 + 1.5 * iqr;
+  stats.minimum = std::numeric_limits<double>::infinity();
+  stats.maximum = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (v < low_fence || v > high_fence) {
+      stats.outliers.push_back(v);
+    } else {
+      stats.minimum = std::min(stats.minimum, v);
+      stats.maximum = std::max(stats.maximum, v);
+    }
+  }
+  if (!std::isfinite(stats.minimum)) {  // everything was an outlier
+    stats.minimum = stats.median;
+    stats.maximum = stats.median;
+  }
+  return stats;
+}
+
+double forgetting_measure(const std::vector<std::vector<double>>& matrix) {
+  REFFIL_CHECK_MSG(!matrix.empty(), "empty accuracy matrix");
+  const std::size_t final_task = matrix.size() - 1;
+  if (final_task == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t d = 0; d < final_task; ++d) {
+    double best = -1.0;
+    for (std::size_t t = d; t <= final_task; ++t) {
+      REFFIL_CHECK_MSG(matrix[t].size() > d, "ragged accuracy matrix");
+      best = std::max(best, matrix[t][d]);
+    }
+    total += best - matrix[final_task][d];
+  }
+  return total / static_cast<double>(final_task);
+}
+
+double backward_transfer(const std::vector<std::vector<double>>& matrix) {
+  REFFIL_CHECK_MSG(!matrix.empty(), "empty accuracy matrix");
+  const std::size_t final_task = matrix.size() - 1;
+  if (final_task == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t d = 0; d < final_task; ++d) {
+    total += matrix[final_task][d] - matrix[d][d];
+  }
+  return total / static_cast<double>(final_task);
+}
+
+namespace {
+double euclidean(const T::Tensor& a, const T::Tensor& b) {
+  return T::l2_norm(T::sub(a, b));
+}
+}  // namespace
+
+double silhouette_score(const std::vector<T::Tensor>& points,
+                        const std::vector<std::size_t>& labels) {
+  REFFIL_CHECK_MSG(points.size() == labels.size(), "silhouette: size mismatch");
+  REFFIL_CHECK_MSG(points.size() >= 2, "silhouette: needs >= 2 points");
+  std::map<std::size_t, std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < labels.size(); ++i) clusters[labels[i]].push_back(i);
+  if (clusters.size() < 2) return 0.0;
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& own = clusters[labels[i]];
+    if (own.size() < 2) continue;  // silhouette undefined for singletons
+    double a = 0.0;
+    for (std::size_t j : own) {
+      if (j != i) a += euclidean(points[i], points[j]);
+    }
+    a /= static_cast<double>(own.size() - 1);
+
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, members] : clusters) {
+      if (label == labels[i]) continue;
+      double mean = 0.0;
+      for (std::size_t j : members) mean += euclidean(points[i], points[j]);
+      mean /= static_cast<double>(members.size());
+      b = std::min(b, mean);
+    }
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double neighbour_confusion(const std::vector<T::Tensor>& points,
+                           const std::vector<std::size_t>& labels) {
+  REFFIL_CHECK_MSG(points.size() == labels.size(), "confusion: size mismatch");
+  REFFIL_CHECK_MSG(points.size() >= 2, "confusion: needs >= 2 points");
+  std::size_t confused = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const double dist = euclidean(points[i], points[j]);
+      if (dist < best) {
+        best = dist;
+        best_j = j;
+      }
+    }
+    if (labels[best_j] != labels[i]) ++confused;
+  }
+  return static_cast<double>(confused) / static_cast<double>(points.size());
+}
+
+}  // namespace reffil::metrics

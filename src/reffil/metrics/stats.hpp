@@ -1,0 +1,44 @@
+// Evaluation statistics: box-plot summaries (Figure 4), forgetting measures,
+// and cluster-quality scores (Figures 5-6 are t-SNE plots whose claim —
+// "clearer decision boundaries" — we quantify with silhouette / overlap).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::metrics {
+
+/// Five-number summary plus outliers (1.5*IQR fences), as a box plot draws.
+struct BoxStats {
+  double minimum = 0.0;   ///< lowest non-outlier
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double maximum = 0.0;   ///< highest non-outlier
+  std::vector<double> outliers;
+};
+
+BoxStats box_stats(std::vector<double> values);
+
+/// Mean over earlier tasks of (best accuracy ever seen on that task − final
+/// accuracy on it): the standard forgetting measure. `matrix[t][d]` is the
+/// accuracy on domain d after task t (d <= t).
+double forgetting_measure(const std::vector<std::vector<double>>& matrix);
+
+/// Backward transfer: mean over earlier tasks of (final − just-after-learning
+/// accuracy). Negative values indicate forgetting.
+double backward_transfer(const std::vector<std::vector<double>>& matrix);
+
+/// Mean silhouette coefficient of a labelled point set (cosine-free, uses
+/// Euclidean distance). Higher = cleaner clusters. Points are [d] tensors.
+double silhouette_score(const std::vector<tensor::Tensor>& points,
+                        const std::vector<std::size_t>& labels);
+
+/// Fraction of points whose nearest neighbour has a different label — a
+/// direct "boundary confusion" measure (lower is better).
+double neighbour_confusion(const std::vector<tensor::Tensor>& points,
+                           const std::vector<std::size_t>& labels);
+
+}  // namespace reffil::metrics

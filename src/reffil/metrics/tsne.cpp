@@ -1,0 +1,165 @@
+#include "reffil/metrics/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::metrics {
+
+namespace T = reffil::tensor;
+
+namespace {
+
+// Squared Euclidean distance matrix.
+std::vector<double> pairwise_sq_dists(const std::vector<T::Tensor>& points) {
+  const std::size_t n = points.size();
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float dist = T::l2_norm(T::sub(points[i], points[j]));
+      const double sq = static_cast<double>(dist) * dist;
+      d2[i * n + j] = sq;
+      d2[j * n + i] = sq;
+    }
+  }
+  return d2;
+}
+
+// Row-wise conditional probabilities with per-point bandwidth calibrated to
+// the target perplexity by binary search on beta = 1/(2 sigma^2).
+std::vector<double> conditional_probs(const std::vector<double>& d2, std::size_t n,
+                                      double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * d2[i * n + j]);
+        sum += w;
+        weighted += w * d2[i * n + j];
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+        continue;
+      }
+      // Shannon entropy of the conditional distribution.
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-4) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi > 1e11 ? beta * 2.0 : (beta_lo + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta_hi) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p[i * n + j] = std::exp(-beta * d2[i * n + j]);
+      sum += p[i * n + j];
+    }
+    if (sum > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) p[i * n + j] /= sum;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<T::Tensor> tsne(const std::vector<T::Tensor>& points,
+                            const TsneConfig& config) {
+  const std::size_t n = points.size();
+  REFFIL_CHECK_MSG(n >= 2, "tsne: needs >= 2 points");
+  REFFIL_CHECK_MSG(config.output_dim >= 1, "tsne: output_dim must be >= 1");
+  const std::size_t dim = config.output_dim;
+
+  const auto d2 = pairwise_sq_dists(points);
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0 + 1.0);
+  auto p_cond = conditional_probs(d2, n, perplexity);
+
+  // Symmetrize: P_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i * n + j] = std::max(
+          (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * static_cast<double>(n)),
+          1e-12);
+    }
+  }
+
+  util::Rng rng(config.seed);
+  std::vector<double> y(n * dim);
+  for (auto& v : y) v = rng.normal(0.0, 1e-2);
+  std::vector<double> velocity(n * dim, 0.0);
+  std::vector<double> gradient(n * dim, 0.0);
+  std::vector<double> q(n * n, 0.0);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dist2 = 0.0;
+        for (std::size_t c = 0; c < dim; ++c) {
+          const double diff = y[i * dim + c] - y[j * dim + c];
+          dist2 += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + dist2);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = q[i * n + j];
+        const double q_ij = std::max(w / q_sum, 1e-12);
+        const double coeff = 4.0 * (exaggeration * p[i * n + j] - q_ij) * w;
+        for (std::size_t c = 0; c < dim; ++c) {
+          gradient[i * dim + c] += coeff * (y[i * dim + c] - y[j * dim + c]);
+        }
+      }
+    }
+    for (std::size_t k = 0; k < n * dim; ++k) {
+      velocity[k] = config.momentum * velocity[k] -
+                    config.learning_rate * gradient[k];
+      y[k] += velocity[k];
+    }
+    // Re-centre to remove drift.
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y[i * dim + c];
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y[i * dim + c] -= mean;
+    }
+  }
+
+  std::vector<T::Tensor> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T::Tensor point({dim});
+    for (std::size_t c = 0; c < dim; ++c) {
+      point.at(c) = static_cast<float>(y[i * dim + c]);
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace reffil::metrics

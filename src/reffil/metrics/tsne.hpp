@@ -1,0 +1,32 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the paper's Figures 5-6.
+//
+// O(n^2) implementation with per-point perplexity calibration via binary
+// search, early exaggeration, and momentum gradient descent — sufficient for
+// the few-hundred-point embeddings the figures use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/tensor/tensor.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace reffil::metrics {
+
+struct TsneConfig {
+  std::size_t output_dim = 2;
+  double perplexity = 15.0;
+  std::size_t iterations = 300;
+  double learning_rate = 30.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;
+  std::size_t exaggeration_iters = 60;
+  std::uint64_t seed = 42;
+};
+
+/// Embed high-dimensional points ([d] tensors) into output_dim coordinates.
+/// Returns one [output_dim] tensor per input point.
+std::vector<tensor::Tensor> tsne(const std::vector<tensor::Tensor>& points,
+                                 const TsneConfig& config = {});
+
+}  // namespace reffil::metrics

@@ -1,0 +1,92 @@
+// Basic neural-network layers: Linear, MLP, LayerNorm, Embedding, Conv2d.
+//
+// All layers take and return autograd Vars so gradients flow through any
+// composition. Initialisation is He/Xavier-style scaled normal driven by a
+// caller-supplied Rng (determinism contract: same seed => same weights).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reffil/autograd/ops.hpp"
+#include "reffil/nn/module.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace reffil::nn {
+
+/// Fully connected layer: y = x W + b with x [m, in] -> y [m, out].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  autograd::Var forward(const autograd::Var& x) const;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  autograd::Var weight_;  // [in, out]
+  autograd::Var bias_;    // [out]
+};
+
+/// Multi-layer perceptron with ReLU between layers (none after the last).
+class Mlp : public Module {
+ public:
+  /// dims = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, util::Rng& rng);
+
+  autograd::Var forward(const autograd::Var& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// Row-wise layer normalization with learned gain and bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim);
+
+  autograd::Var forward(const autograd::Var& x) const;
+
+ private:
+  autograd::Var gain_;  // [dim], init 1
+  autograd::Var bias_;  // [dim], init 0
+};
+
+/// Trainable lookup table; forward(i) returns row i as a [1, dim] Var.
+/// Used for the task-specific key embedding (conditional input v in Eq. 1).
+class Embedding : public Module {
+ public:
+  Embedding(std::size_t count, std::size_t dim, util::Rng& rng);
+
+  autograd::Var forward(std::size_t index) const;
+
+  /// Whole table as a [count, dim] Var (for pool-style similarity search).
+  const autograd::Var& table() const { return table_; }
+
+  std::size_t count() const { return count_; }
+  std::size_t dim() const { return dim_; }
+
+ private:
+  std::size_t count_, dim_;
+  autograd::Var table_;  // [count, dim]
+};
+
+/// 2-D convolution over a single [Cin, H, W] sample.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, util::Rng& rng);
+
+  autograd::Var forward(const autograd::Var& x) const;
+
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t out_channels_, kernel_, stride_, pad_;
+  autograd::Var weight_;  // [Cout, Cin*k*k]
+  autograd::Var bias_;    // [Cout]
+};
+
+}  // namespace reffil::nn

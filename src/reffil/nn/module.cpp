@@ -1,0 +1,68 @@
+#include "reffil/nn/module.hpp"
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::nn {
+
+std::vector<tensor::Tensor> Module::snapshot() const {
+  std::vector<tensor::Tensor> state;
+  state.reserve(params_.size());
+  for (const auto& p : params_) state.push_back(p->value());
+  return state;
+}
+
+void Module::load(const std::vector<tensor::Tensor>& state) {
+  REFFIL_CHECK_MSG(state.size() == params_.size(),
+                   "load: state has " + std::to_string(state.size()) +
+                       " tensors, module has " + std::to_string(params_.size()));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (state[i].shape() != params_[i]->value().shape()) {
+      throw ShapeError("load: parameter " + std::to_string(i) + " shape " +
+                       tensor::shape_to_string(state[i].shape()) + " vs " +
+                       tensor::shape_to_string(params_[i]->value().shape()));
+    }
+    params_[i]->mutable_value() = state[i];
+  }
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& p : params_) count += p->value().numel();
+  return count;
+}
+
+void Module::serialize(util::ByteWriter& writer) const {
+  writer.write_u64(params_.size());
+  for (const auto& p : params_) p->value().serialize(writer);
+}
+
+void Module::deserialize(util::ByteReader& reader) {
+  const auto n = reader.read_u64();
+  if (n != params_.size()) {
+    throw SerializationError("module expects " + std::to_string(params_.size()) +
+                             " parameters, payload has " + std::to_string(n));
+  }
+  std::vector<tensor::Tensor> state;
+  state.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    state.push_back(tensor::Tensor::deserialize(reader));
+  }
+  load(state);
+}
+
+void Module::zero_grad() {
+  for (auto& p : params_) p->zero_grad();
+}
+
+autograd::Var Module::add_parameter(tensor::Tensor init) {
+  auto var = autograd::parameter(std::move(init));
+  params_.push_back(var);
+  return var;
+}
+
+void Module::register_submodule(const Module& submodule) {
+  params_.insert(params_.end(), submodule.params_.begin(),
+                 submodule.params_.end());
+}
+
+}  // namespace reffil::nn

@@ -1,0 +1,55 @@
+// Module base class: parameter registration, state snapshot/load, and
+// serialization. Strategy code treats a model as "a Module": FedAvg works on
+// snapshot()/load() tensors, optimizers work on parameters().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "reffil/autograd/variable.hpp"
+#include "reffil/util/byte_buffer.hpp"
+
+namespace reffil::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;  // parameters are shared handles; copying a
+  Module& operator=(const Module&) = delete;  // module would alias them.
+
+  /// All trainable parameters (leaf Vars with requires_grad), in registration
+  /// order. Order is the serialization contract: snapshot()/load() and
+  /// FedAvg all rely on it being identical across clients, which holds
+  /// because every participant constructs the same architecture.
+  const std::vector<autograd::Var>& parameters() const { return params_; }
+
+  /// Copies of all parameter values, in registration order.
+  std::vector<tensor::Tensor> snapshot() const;
+
+  /// Overwrite parameter values from a snapshot (shapes must match).
+  void load(const std::vector<tensor::Tensor>& state);
+
+  /// Total number of scalar parameters.
+  std::size_t parameter_count() const;
+
+  /// Serialize / restore the full parameter state.
+  void serialize(util::ByteWriter& writer) const;
+  void deserialize(util::ByteReader& reader);
+
+  /// Zero every parameter's gradient.
+  void zero_grad();
+
+ protected:
+  /// Register a new trainable parameter initialised with `init`.
+  autograd::Var add_parameter(tensor::Tensor init);
+
+  /// Absorb a submodule's parameters into this module's list. Call after the
+  /// submodule is fully constructed.
+  void register_submodule(const Module& submodule);
+
+ private:
+  std::vector<autograd::Var> params_;
+};
+
+}  // namespace reffil::nn

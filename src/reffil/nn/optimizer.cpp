@@ -1,0 +1,65 @@
+#include "reffil/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::nn {
+
+namespace T = reffil::tensor;
+
+SgdOptimizer::SgdOptimizer(std::vector<autograd::Var> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  REFFIL_CHECK_MSG(config_.learning_rate > 0.0f, "learning rate must be > 0");
+  REFFIL_CHECK_MSG(config_.momentum >= 0.0f && config_.momentum < 1.0f,
+                   "momentum must be in [0, 1)");
+  if (config_.momentum > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.emplace_back(p->value().shape());
+    }
+  }
+}
+
+void SgdOptimizer::step() {
+  float clip_scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (const auto& p : params_) {
+      const T::Tensor& g = p->grad();
+      if (g.shape() != p->value().shape()) continue;
+      const float n = T::l2_norm(g);
+      sq += static_cast<double>(n) * n;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > config_.clip_norm) {
+      clip_scale = static_cast<float>(config_.clip_norm / norm);
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    T::Tensor grad = p->grad();
+    if (grad.shape() != p->value().shape()) {
+      // Parameter never touched by backward this step — skip.
+      continue;
+    }
+    if (clip_scale != 1.0f) T::scale_inplace(grad, clip_scale);
+    if (config_.weight_decay > 0.0f) {
+      T::axpy_inplace(grad, config_.weight_decay, p->value());
+    }
+    if (config_.momentum > 0.0f) {
+      T::scale_inplace(velocity_[i], config_.momentum);
+      T::add_inplace(velocity_[i], grad);
+      T::axpy_inplace(p->mutable_value(), -config_.learning_rate, velocity_[i]);
+    } else {
+      T::axpy_inplace(p->mutable_value(), -config_.learning_rate, grad);
+    }
+  }
+}
+
+void SgdOptimizer::zero_grad() {
+  for (auto& p : params_) p->zero_grad();
+}
+
+}  // namespace reffil::nn

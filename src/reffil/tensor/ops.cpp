@@ -1,0 +1,350 @@
+#include "reffil/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reffil::tensor {
+
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw ShapeError(std::string(op) + ": " + shape_to_string(a.shape()) +
+                     " vs " + shape_to_string(b.shape()));
+  }
+}
+
+void require_rank2(const Tensor& a, const char* op) {
+  if (a.rank() != 2) {
+    throw ShapeError(std::string(op) + " requires rank-2, got " +
+                     shape_to_string(a.shape()));
+  }
+}
+
+Tensor zip(const Tensor& a, const Tensor& b, const char* op,
+           float (*f)(float, float)) {
+  require_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  float* po = out.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.begin(), t.end(), value);
+  return t;
+}
+
+Tensor randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out) v += s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  for (float& v : out) v *= s;
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+Tensor exp(const Tensor& a) {
+  return map(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return map(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return map(a, [](float x) { return std::sqrt(x); });
+}
+Tensor tanh(const Tensor& a) {
+  return map(a, [](float x) { return std::tanh(x); });
+}
+Tensor relu(const Tensor& a) {
+  return map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor sigmoid(const Tensor& a) {
+  return map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const float* pa = a.begin();
+  float* po = out.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_inplace");
+  float* pa = a.begin();
+  const float* pb = b.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  require_same_shape(a, b, "axpy_inplace");
+  float* pa = a.begin();
+  const float* pb = b.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& v : a) v *= s;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul(a)");
+  require_rank2(b, "matmul(b)");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw ShapeError("matmul: " + shape_to_string(a.shape()) + " x " +
+                     shape_to_string(b.shape()));
+  }
+  Tensor out({m, n});
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  float* po = out.begin();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // b and out, which is the main thing that matters for a BLAS-free kernel.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  require_rank2(a, "transpose2d");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out.at(j * m + i) = a.at(i * n + j);
+  }
+  return out;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  require_rank2(a, "matvec");
+  if (x.rank() != 1 || x.dim(0) != a.dim(1)) {
+    throw ShapeError("matvec: " + shape_to_string(a.shape()) + " x " +
+                     shape_to_string(x.shape()));
+  }
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  Tensor out({m});
+  for (std::size_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) acc += a.at(i * k + j) * x.at(j);
+    out.at(i) = acc;
+  }
+  return out;
+}
+
+float sum_all(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean_all(const Tensor& a) {
+  REFFIL_CHECK(a.numel() > 0);
+  return sum_all(a) / static_cast<float>(a.numel());
+}
+
+float max_all(const Tensor& a) {
+  REFFIL_CHECK(a.numel() > 0);
+  return *std::max_element(a.begin(), a.end());
+}
+
+Tensor sum_rows(const Tensor& a) {
+  require_rank2(a, "sum_rows");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out.at(j) += a.at(i * n + j);
+  }
+  return out;
+}
+
+Tensor mean_cols(const Tensor& a) {
+  require_rank2(a, "mean_cols");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  REFFIL_CHECK(n > 0);
+  Tensor out({m});
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a.at(i * n + j);
+    out.at(i) = static_cast<float>(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+Tensor mean_rows(const Tensor& a) {
+  require_rank2(a, "mean_rows");
+  REFFIL_CHECK(a.dim(0) > 0);
+  Tensor sums = sum_rows(a);
+  scale_inplace(sums, 1.0f / static_cast<float>(a.dim(0)));
+  return sums;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "dot");
+  double acc = 0.0;
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) acc += double(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(std::max(0.0f, dot(a, a))); }
+
+float cosine_similarity(const Tensor& a, const Tensor& b) {
+  REFFIL_CHECK_MSG(a.numel() == b.numel(), "cosine_similarity: size mismatch");
+  double num = 0.0, na = 0.0, nb = 0.0;
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    num += double(pa[i]) * pb[i];
+    na += double(pa[i]) * pa[i];
+    nb += double(pb[i]) * pb[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb) + 1e-12;
+  return static_cast<float>(num / denom);
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  require_rank2(logits, "softmax_rows");
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* src = logits.begin() + i * n;
+    float* dst = out.begin() + i * n;
+    const float mx = *std::max_element(src, src + n);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      total += dst[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(dst[j] / total);
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  require_rank2(logits, "log_softmax_rows");
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* src = logits.begin() + i * n;
+    float* dst = out.begin() + i * n;
+    const float mx = *std::max_element(src, src + n);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) total += std::exp(src[j] - mx);
+    const float log_total = static_cast<float>(std::log(total));
+    for (std::size_t j = 0; j < n; ++j) dst[j] = src[j] - mx - log_total;
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& logits) {
+  require_rank2(logits, "argmax_rows");
+  const std::size_t m = logits.dim(0), n = logits.dim(1);
+  REFFIL_CHECK(n > 0);
+  std::vector<std::size_t> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* src = logits.begin() + i * n;
+    out[i] = static_cast<std::size_t>(std::max_element(src, src + n) - src);
+  }
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "concat_cols(a)");
+  require_rank2(b, "concat_cols(b)");
+  if (a.dim(0) != b.dim(0)) {
+    throw ShapeError("concat_cols: row mismatch " + shape_to_string(a.shape()) +
+                     " vs " + shape_to_string(b.shape()));
+  }
+  const std::size_t m = a.dim(0), na = a.dim(1), nb = b.dim(1);
+  Tensor out({m, na + nb});
+  for (std::size_t i = 0; i < m; ++i) {
+    std::copy(a.begin() + i * na, a.begin() + (i + 1) * na,
+              out.begin() + i * (na + nb));
+    std::copy(b.begin() + i * nb, b.begin() + (i + 1) * nb,
+              out.begin() + i * (na + nb) + na);
+  }
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "concat_rows(a)");
+  require_rank2(b, "concat_rows(b)");
+  if (a.dim(1) != b.dim(1)) {
+    throw ShapeError("concat_rows: column mismatch " +
+                     shape_to_string(a.shape()) + " vs " +
+                     shape_to_string(b.shape()));
+  }
+  std::vector<float> data;
+  data.reserve(a.numel() + b.numel());
+  data.insert(data.end(), a.begin(), a.end());
+  data.insert(data.end(), b.begin(), b.end());
+  return Tensor({a.dim(0) + b.dim(0), a.dim(1)}, std::move(data));
+}
+
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end) {
+  require_rank2(a, "slice_rows");
+  REFFIL_CHECK_MSG(begin <= end && end <= a.dim(0), "slice_rows: bad range");
+  const std::size_t n = a.dim(1);
+  std::vector<float> data(a.begin() + begin * n, a.begin() + end * n);
+  return Tensor({end - begin, n}, std::move(data));
+}
+
+Tensor row(const Tensor& a, std::size_t r) {
+  require_rank2(a, "row");
+  REFFIL_CHECK(r < a.dim(0));
+  const std::size_t n = a.dim(1);
+  std::vector<float> data(a.begin() + r * n, a.begin() + (r + 1) * n);
+  return Tensor({n}, std::move(data));
+}
+
+}  // namespace reffil::tensor

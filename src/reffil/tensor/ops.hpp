@@ -1,0 +1,92 @@
+// Non-differentiable tensor operations.
+//
+// These are plain numeric kernels; the autograd layer composes them into
+// differentiable ops. All binary ops require exactly matching shapes except
+// the *_scalar variants — implicit broadcasting is deliberately absent to
+// keep shape errors loud (Core Guidelines P.4: compile/run-time checkable
+// interfaces).
+#pragma once
+
+#include <functional>
+
+#include "reffil/tensor/tensor.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace reffil::tensor {
+
+// ---- construction -----------------------------------------------------------
+Tensor zeros(Shape shape);
+Tensor ones(Shape shape);
+Tensor full(Shape shape, float value);
+/// I.i.d. N(mean, stddev) entries.
+Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+/// I.i.d. U[lo, hi) entries.
+Tensor rand_uniform(Shape shape, util::Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+// ---- elementwise ------------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// a += b (in place, same shape).
+void add_inplace(Tensor& a, const Tensor& b);
+/// a += s * b (axpy, same shape).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+/// a *= s.
+void scale_inplace(Tensor& a, float s);
+
+// ---- linear algebra ---------------------------------------------------------
+/// 2-D matrix product [m,k]x[k,n] -> [m,n] (cache-blocked).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+/// Matrix-vector product [m,k]x[k] -> [m].
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+// ---- reductions -------------------------------------------------------------
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+/// Column sums of a 2-D tensor: [m,n] -> [n].
+Tensor sum_rows(const Tensor& a);
+/// Row means of a 2-D tensor: [m,n] -> [m].
+Tensor mean_cols(const Tensor& a);
+/// Mean over axis 0 of a 2-D tensor: [m,n] -> [n].
+Tensor mean_rows(const Tensor& a);
+
+// ---- vector geometry --------------------------------------------------------
+float dot(const Tensor& a, const Tensor& b);
+float l2_norm(const Tensor& a);
+/// cos(a, b) with epsilon-guarded denominators; inputs are flattened.
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+// ---- row-wise softmax family -------------------------------------------------
+/// Numerically stable row softmax of a 2-D tensor.
+Tensor softmax_rows(const Tensor& logits);
+/// Numerically stable row log-softmax of a 2-D tensor.
+Tensor log_softmax_rows(const Tensor& logits);
+/// Index of the max element in each row: [m,n] -> vector<size_t> of length m.
+std::vector<std::size_t> argmax_rows(const Tensor& logits);
+
+// ---- structure ---------------------------------------------------------------
+/// Concatenate 2-D tensors along axis 1 (same row count).
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Concatenate 2-D tensors along axis 0 (same column count).
+Tensor concat_rows(const Tensor& a, const Tensor& b);
+/// Copy of rows [begin, end) of a 2-D tensor.
+Tensor slice_rows(const Tensor& a, std::size_t begin, std::size_t end);
+/// Copy of row r of a 2-D tensor as a 1-D tensor.
+Tensor row(const Tensor& a, std::size_t r);
+
+}  // namespace reffil::tensor

@@ -1,0 +1,128 @@
+#include "reffil/tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace reffil::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  REFFIL_CHECK_MSG(data_.size() == shape_numel(shape_),
+                   "data size " + std::to_string(data_.size()) +
+                       " does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  const std::size_t r = rows.size();
+  REFFIL_CHECK_MSG(r > 0, "matrix: no rows");
+  const std::size_t c = rows.begin()->size();
+  std::vector<float> data;
+  data.reserve(r * c);
+  for (const auto& row : rows) {
+    REFFIL_CHECK_MSG(row.size() == c, "matrix: ragged rows");
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return Tensor({r, c}, std::move(data));
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw ShapeError("axis " + std::to_string(axis) + " out of range for " +
+                     shape_to_string(shape_));
+  }
+  return shape_[axis];
+}
+
+float Tensor::at(std::size_t flat_index) const {
+  REFFIL_CHECK_MSG(flat_index < data_.size(), "flat index out of range");
+  return data_[flat_index];
+}
+
+float& Tensor::at(std::size_t flat_index) {
+  REFFIL_CHECK_MSG(flat_index < data_.size(), "flat index out of range");
+  return data_[flat_index];
+}
+
+float Tensor::at2(std::size_t row, std::size_t col) const {
+  if (rank() != 2) throw ShapeError("at2 requires rank-2, got " + shape_to_string(shape_));
+  REFFIL_CHECK(row < shape_[0] && col < shape_[1]);
+  return data_[row * shape_[1] + col];
+}
+
+float& Tensor::at2(std::size_t row, std::size_t col) {
+  if (rank() != 2) throw ShapeError("at2 requires rank-2, got " + shape_to_string(shape_));
+  REFFIL_CHECK(row < shape_[0] && col < shape_[1]);
+  return data_[row * shape_[1] + col];
+}
+
+float Tensor::item() const {
+  if (data_.size() != 1) {
+    throw ShapeError("item() on tensor with " + std::to_string(data_.size()) +
+                     " elements");
+  }
+  return data_[0];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw ShapeError("cannot reshape " + shape_to_string(shape_) + " to " +
+                     shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+bool Tensor::all_close(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+void Tensor::serialize(util::ByteWriter& writer) const {
+  writer.write_u64(shape_.size());
+  for (std::size_t d : shape_) writer.write_u64(d);
+  writer.write_pod_vector(data_);
+}
+
+Tensor Tensor::deserialize(util::ByteReader& reader) {
+  const auto rank = reader.read_u64();
+  if (rank > 8) throw SerializationError("tensor rank too large");
+  Shape shape(rank);
+  for (auto& d : shape) d = reader.read_u64();
+  auto data = reader.read_pod_vector<float>();
+  if (data.size() != shape_numel(shape)) {
+    throw SerializationError("tensor payload does not match shape");
+  }
+  return Tensor(std::move(shape), std::move(data));
+}
+
+}  // namespace reffil::tensor

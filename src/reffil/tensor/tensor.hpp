@@ -1,0 +1,90 @@
+// Dense row-major float tensor.
+//
+// This is the numeric substrate for the whole library: a contiguous
+// `std::vector<float>` plus a shape. It is a value type (copyable, movable,
+// equality-comparable) following the Core Guidelines' preference for regular
+// types; all mutation goes through checked accessors or the op library in
+// ops.hpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "reffil/util/byte_buffer.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+std::size_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Rank-0 scalar zero.
+  Tensor() : shape_{}, data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+  /// Tensor with explicit contents; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// Scalar constructor.
+  static Tensor scalar(float value);
+
+  /// 1-D tensor from values.
+  static Tensor vector(std::vector<float> values);
+
+  /// 2-D tensor from nested initializer list (rows must be equal length).
+  static Tensor matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+  const float* begin() const { return data_.data(); }
+  const float* end() const { return data_.data() + data_.size(); }
+  float* begin() { return data_.data(); }
+  float* end() { return data_.data() + data_.size(); }
+
+  /// Flat element access (bounds-checked).
+  float at(std::size_t flat_index) const;
+  float& at(std::size_t flat_index);
+
+  /// 2-D element access (bounds-checked; requires rank 2).
+  float at2(std::size_t row, std::size_t col) const;
+  float& at2(std::size_t row, std::size_t col);
+
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+
+  /// Same data, new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Exact equality of shape and contents.
+  bool operator==(const Tensor& other) const = default;
+
+  /// True if shapes match and all elements are within atol of each other.
+  bool all_close(const Tensor& other, float atol = 1e-5f) const;
+
+  void serialize(util::ByteWriter& writer) const;
+  static Tensor deserialize(util::ByteReader& reader);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace reffil::tensor

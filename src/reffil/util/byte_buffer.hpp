@@ -1,0 +1,123 @@
+// Byte-level serialization primitives for federated messages.
+//
+// ByteWriter appends little-endian encodings of PODs, strings and vectors;
+// ByteReader decodes them in the same order and throws SerializationError on
+// truncation or corruption. The federated transport meters bytes with these,
+// so message sizes in bench output reflect real encoded payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::util {
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+  template <typename T>
+  void write_pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void write_u32(std::uint32_t v) { write_pod(v); }
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_i64(std::int64_t v) { write_pod(v); }
+  void write_f32(float v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void write_pod_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(v.size());
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(bytes_.data() + offset, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  /// ByteReader is a non-owning view; binding it to a temporary would
+  /// dangle immediately, so that is a compile error.
+  explicit ByteReader(std::vector<std::uint8_t>&&) = delete;
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool exhausted() const { return offset_ == size_; }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const auto n = read_u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + offset_), n);
+    offset_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_pod_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = read_u64();
+    if (n > size_ / sizeof(T) + 1) {
+      throw SerializationError("vector length field exceeds buffer size");
+    }
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    if (n != 0) std::memcpy(v.data(), data_ + offset_, n * sizeof(T));
+    offset_ += n * sizeof(T);
+    return v;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (offset_ + n > size_) {
+      throw SerializationError("buffer truncated: need " + std::to_string(n) +
+                               " bytes, have " + std::to_string(size_ - offset_));
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace reffil::util

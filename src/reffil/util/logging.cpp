@@ -1,0 +1,56 @@
+#include "reffil/util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace reffil::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void init_log_level_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("REFFIL_LOG_LEVEL");
+    if (env == nullptr) return;
+    if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+    else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+    else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+    else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+    else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+  });
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  init_log_level_from_env();
+  if (static_cast<int>(level) < g_level.load()) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%9.3fs %s] %s\n", elapsed, level_name(level),
+               message.c_str());
+}
+
+}  // namespace reffil::util

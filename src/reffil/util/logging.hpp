@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The federated runtime logs round progress and the bench harness logs
+// experiment milestones; everything funnels through here so verbosity can be
+// controlled globally (REFFIL_LOG_LEVEL env var or set_level()).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace reffil::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Initialise level from the REFFIL_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warn" | "error" | "off"). Called lazily on first log.
+void init_log_level_from_env();
+
+/// Emit one log line (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace reffil::util
+
+#define REFFIL_LOG_DEBUG ::reffil::util::detail::LogLine(::reffil::util::LogLevel::kDebug)
+#define REFFIL_LOG_INFO ::reffil::util::detail::LogLine(::reffil::util::LogLevel::kInfo)
+#define REFFIL_LOG_WARN ::reffil::util::detail::LogLine(::reffil::util::LogLevel::kWarn)
+#define REFFIL_LOG_ERROR ::reffil::util::detail::LogLine(::reffil::util::LogLevel::kError)

@@ -1,0 +1,319 @@
+// Tests for the synthetic data substrate: spec registry, generator
+// determinism, domain-shift structure, and the quantity-shift partitioner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "reffil/data/generator.hpp"
+#include "reffil/data/partition.hpp"
+#include "reffil/data/spec.hpp"
+#include "reffil/tensor/ops.hpp"
+
+namespace D = reffil::data;
+namespace T = reffil::tensor;
+
+TEST(DatasetSpecs, RegistryMatchesPaperStructure) {
+  const auto specs = D::all_dataset_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "Digits-Five");
+  EXPECT_EQ(specs[0].num_classes, 10u);
+  EXPECT_EQ(specs[0].domains.size(), 5u);
+  EXPECT_EQ(specs[1].name, "OfficeCaltech10");
+  EXPECT_EQ(specs[1].domains.size(), 4u);
+  EXPECT_EQ(specs[1].initial_clients, 10u);   // paper: OfficeCaltech starts at 10
+  EXPECT_EQ(specs[1].clients_per_round, 5u);
+  EXPECT_EQ(specs[1].client_increment, 1u);
+  EXPECT_EQ(specs[2].name, "PACS");
+  EXPECT_EQ(specs[2].num_classes, 7u);
+  EXPECT_EQ(specs[3].name, "FedDomainNet");
+  EXPECT_EQ(specs[3].domains.size(), 6u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.initial_clients == 10u, s.name == "OfficeCaltech10");
+    for (const auto& d : s.domains) {
+      EXPECT_GE(d.train_samples, s.initial_clients * 4)
+          << s.name << "/" << d.name << " pool too small to partition";
+    }
+  }
+}
+
+TEST(DatasetSpecs, NewDomainOrderIsAPermutation) {
+  for (const auto& spec : D::all_dataset_specs()) {
+    const auto order = D::new_domain_order(spec.name);
+    ASSERT_EQ(order.size(), spec.domains.size());
+    std::set<std::size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size());
+    EXPECT_EQ(*unique.rbegin(), order.size() - 1);
+    // Order must actually differ from identity.
+    bool identity = true;
+    for (std::size_t i = 0; i < order.size(); ++i) identity &= (order[i] == i);
+    EXPECT_FALSE(identity) << spec.name;
+  }
+}
+
+TEST(DatasetSpecs, WithDomainOrderReordersNames) {
+  auto spec = D::digits_five_spec();
+  auto reordered = D::with_domain_order(spec, D::new_domain_order(spec.name));
+  EXPECT_EQ(reordered.domains[0].name, "SVHN");
+  EXPECT_EQ(reordered.domains[1].name, "MNIST");
+  EXPECT_EQ(reordered.domains[4].name, "MNIST-M");
+}
+
+TEST(DatasetSpecs, WithDomainOrderRejectsBadPermutations) {
+  auto spec = D::pacs_spec();
+  EXPECT_THROW(D::with_domain_order(spec, {0, 1, 2}), reffil::Error);
+  EXPECT_THROW(D::with_domain_order(spec, {0, 0, 1, 2}), reffil::Error);
+  EXPECT_THROW(D::with_domain_order(spec, {0, 1, 2, 9}), reffil::Error);
+}
+
+TEST(Generator, DeterministicAcrossInstances) {
+  const auto spec = D::office_caltech10_spec();
+  D::SyntheticDomainSource a(spec), b(spec);
+  const auto ta = a.train_split(1);
+  const auto tb = b.train_split(1);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].label, tb[i].label);
+    EXPECT_TRUE(ta[i].image == tb[i].image);
+  }
+}
+
+TEST(Generator, TrainAndTestSplitsDiffer) {
+  D::SyntheticDomainSource src(D::pacs_spec());
+  const auto train = src.train_split(0);
+  const auto test = src.test_split(0);
+  EXPECT_EQ(train.size(), D::pacs_spec().domains[0].train_samples);
+  EXPECT_EQ(test.size(), D::pacs_spec().domains[0].test_samples);
+  // No sample should be bit-identical across splits.
+  for (const auto& tr : train) {
+    for (const auto& te : test) {
+      EXPECT_FALSE(tr.image == te.image);
+    }
+  }
+}
+
+TEST(Generator, SplitsAreClassBalanced) {
+  const auto spec = D::digits_five_spec();
+  D::SyntheticDomainSource src(spec);
+  const auto hist = D::label_histogram(src.train_split(0), spec.num_classes);
+  const std::size_t expected = spec.domains[0].train_samples / spec.num_classes;
+  for (std::size_t count : hist) {
+    EXPECT_GE(count, expected - 1);
+    EXPECT_LE(count, expected + 1);
+  }
+}
+
+TEST(Generator, ImageShapeAndFiniteness) {
+  D::SyntheticDomainSource src(D::digits_five_spec());
+  for (const auto& s : src.test_split(2)) {
+    EXPECT_EQ(s.image.shape(), (T::Shape{1, 16, 16}));
+    for (float v : s.image) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Generator, DomainsShiftTheInputDistribution) {
+  // Mean image of the same class must differ far more across domains than
+  // across two halves of the same domain — the core domain-shift property.
+  const auto spec = D::digits_five_spec();
+  D::SyntheticDomainSource src(spec);
+  auto class_mean = [&](const D::Dataset& ds, std::size_t label) {
+    T::Tensor acc({1, 16, 16});
+    std::size_t n = 0;
+    for (const auto& s : ds) {
+      if (s.label == label) {
+        T::add_inplace(acc, s.image);
+        ++n;
+      }
+    }
+    T::scale_inplace(acc, 1.0f / static_cast<float>(n));
+    return acc;
+  };
+  const auto d0 = src.train_split(0);
+  const auto d0b = src.test_split(0);
+  const auto d3 = src.train_split(3);
+  const auto same_domain_gap =
+      T::l2_norm(T::sub(class_mean(d0, 1), class_mean(d0b, 1)));
+  const auto cross_domain_gap =
+      T::l2_norm(T::sub(class_mean(d0, 1), class_mean(d3, 1)));
+  EXPECT_GT(cross_domain_gap, 2.0f * same_domain_gap);
+}
+
+TEST(Generator, ClassesAreSeparatedWithinADomain) {
+  // Within one domain, different classes must have clearly distinct means
+  // (otherwise nothing is learnable).
+  const auto spec = D::pacs_spec();
+  D::SyntheticDomainSource src(spec);
+  const auto ds = src.train_split(0);
+  std::vector<T::Tensor> means(spec.num_classes, T::Tensor({1, 16, 16}));
+  std::vector<std::size_t> counts(spec.num_classes, 0);
+  for (const auto& s : ds) {
+    T::add_inplace(means[s.label], s.image);
+    ++counts[s.label];
+  }
+  for (std::size_t k = 0; k < spec.num_classes; ++k) {
+    T::scale_inplace(means[k], 1.0f / static_cast<float>(counts[k]));
+  }
+  float min_gap = 1e9f;
+  for (std::size_t a = 0; a < spec.num_classes; ++a) {
+    for (std::size_t b = a + 1; b < spec.num_classes; ++b) {
+      min_gap = std::min(min_gap, T::l2_norm(T::sub(means[a], means[b])));
+    }
+  }
+  EXPECT_GT(min_gap, 1.0f);
+}
+
+TEST(Generator, HarderDomainsAreNoisier) {
+  // Residual variance around the class mean should grow with DomainSpec
+  // difficulty (Digits-Five: MNIST is the easiest, SYN the hardest).
+  const auto spec = D::digits_five_spec();
+  D::SyntheticDomainSource src(spec);
+  auto class0_residual = [&](std::size_t domain) {
+    const auto ds = src.train_split(domain);
+    T::Tensor mean({1, 16, 16});
+    std::size_t n = 0;
+    for (const auto& s : ds) {
+      if (s.label == 0) {
+        T::add_inplace(mean, s.image);
+        ++n;
+      }
+    }
+    T::scale_inplace(mean, 1.0f / static_cast<float>(n));
+    float residual = 0.0f;
+    for (const auto& s : ds) {
+      if (s.label == 0) residual += T::l2_norm(T::sub(s.image, mean));
+    }
+    return residual / static_cast<float>(n);
+  };
+  EXPECT_LT(class0_residual(0), class0_residual(4));  // MNIST < SYN
+}
+
+TEST(Partition, SizesSumToPoolAndRespectMinimum) {
+  D::SyntheticDomainSource src(D::digits_five_spec());
+  const auto pool = src.train_split(0);
+  reffil::util::Rng rng(11);
+  const auto shards =
+      D::quantity_shift_partition(pool, 10, {.skew = 1.2, .min_per_client = 4}, rng);
+  ASSERT_EQ(shards.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 4u);
+    total += shard.size();
+  }
+  EXPECT_EQ(total, pool.size());
+}
+
+TEST(Partition, ProducesQuantitySkew) {
+  D::SyntheticDomainSource src(D::digits_five_spec());
+  const auto pool = src.train_split(3);
+  reffil::util::Rng rng(12);
+  const auto shards =
+      D::quantity_shift_partition(pool, 8, {.skew = 1.5, .min_per_client = 4}, rng);
+  std::size_t biggest = 0, smallest = pool.size();
+  for (const auto& shard : shards) {
+    biggest = std::max(biggest, shard.size());
+    smallest = std::min(smallest, shard.size());
+  }
+  EXPECT_GE(biggest, 2 * smallest);  // real skew, not uniform
+}
+
+TEST(Partition, EveryClientSeesEveryClassWhenCapacityAllows) {
+  const auto spec = D::digits_five_spec();
+  D::SyntheticDomainSource src(spec);
+  const auto pool = src.train_split(0);  // 240 samples, 10 classes
+  reffil::util::Rng rng(13);
+  const auto shards = D::quantity_shift_partition(
+      pool, 5, {.skew = 0.8, .min_per_client = 12}, rng);
+  for (const auto& shard : shards) {
+    const auto hist = D::label_histogram(shard, spec.num_classes);
+    for (std::size_t count : hist) EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(Partition, RejectsImpossibleRequests) {
+  D::SyntheticDomainSource src(D::office_caltech10_spec());
+  const auto pool = src.train_split(3);  // 50 samples
+  reffil::util::Rng rng(14);
+  EXPECT_THROW(
+      D::quantity_shift_partition(pool, 30, {.skew = 1.0, .min_per_client = 4}, rng),
+      reffil::Error);
+  EXPECT_THROW(
+      D::quantity_shift_partition(pool, 0, {.skew = 1.0, .min_per_client = 4}, rng),
+      reffil::Error);
+}
+
+// Parameterized sweep: partitioning is total and min-respecting across a
+// grid of client counts and skews.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(PartitionProperty, TotalAndMinimumInvariants) {
+  auto [clients, skew] = GetParam();
+  D::SyntheticDomainSource src(D::pacs_spec());
+  const auto pool = src.train_split(1);
+  reffil::util::Rng rng(100 + clients);
+  const auto shards = D::quantity_shift_partition(
+      pool, clients, {.skew = skew, .min_per_client = 3}, rng);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 3u);
+    total += shard.size();
+  }
+  EXPECT_EQ(total, pool.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionProperty,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{10}, std::size_t{20}),
+                       ::testing::Values(0.0, 0.7, 1.5)));
+
+TEST(Generator, DomainDataIsOrderInvariant) {
+  // The Tables 2/4 premise: permuting the task order must not change any
+  // domain's data — only when it arrives. Generative parameters and sample
+  // streams are keyed by the domain's canonical stream_id.
+  const auto original = D::digits_five_spec();
+  const auto permuted =
+      D::with_domain_order(original, D::new_domain_order(original.name));
+  D::SyntheticDomainSource source_orig(original);
+  D::SyntheticDomainSource source_perm(permuted);
+  for (std::size_t p = 0; p < permuted.domains.size(); ++p) {
+    // Find this domain's position in the original order by name.
+    std::size_t o = original.domains.size();
+    for (std::size_t i = 0; i < original.domains.size(); ++i) {
+      if (original.domains[i].name == permuted.domains[p].name) o = i;
+    }
+    ASSERT_LT(o, original.domains.size());
+    const auto train_orig = source_orig.train_split(o);
+    const auto train_perm = source_perm.train_split(p);
+    ASSERT_EQ(train_orig.size(), train_perm.size());
+    for (std::size_t i = 0; i < train_orig.size(); ++i) {
+      EXPECT_EQ(train_orig[i].label, train_perm[i].label);
+      EXPECT_TRUE(train_orig[i].image == train_perm[i].image);
+    }
+  }
+}
+
+TEST(Generator, HandBuiltSpecsWithoutStreamIdsStillGetDistinctDomains) {
+  // Specs that never set stream_id (all zero) fall back to positional ids;
+  // the domains must not silently collapse onto one generative model.
+  D::DatasetSpec spec;
+  spec.name = "NoIds";
+  spec.num_classes = 4;
+  spec.seed = 3;
+  D::DomainSpec d;
+  d.train_samples = 40;
+  d.test_samples = 20;
+  d.name = "A";
+  spec.domains.push_back(d);
+  d.name = "B";
+  spec.domains.push_back(d);
+  D::SyntheticDomainSource source(spec);
+  const auto a = source.train_split(0);
+  const auto b = source.train_split(1);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= !(a[i].image == b[i].image);
+  }
+  EXPECT_TRUE(any_difference);
+}

@@ -1,0 +1,181 @@
+// Tests for the extension features: Dirichlet label-skew partitioning,
+// client dropout in the runtime, and RefFiL's task-ID-free eval policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reffil/data/label_skew.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/fed/runtime.hpp"
+#include "reffil/harness/experiment.hpp"
+
+using namespace reffil;
+
+TEST(Gamma, MeanMatchesShape) {
+  util::Rng rng(1);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    double total = 0.0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) total += data::sample_gamma(shape, rng);
+    EXPECT_NEAR(total / n, shape, shape * 0.08) << "shape " << shape;
+  }
+}
+
+TEST(Gamma, AlwaysPositive) {
+  util::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GT(data::sample_gamma(0.3, rng), 0.0);
+  }
+  EXPECT_THROW(data::sample_gamma(0.0, rng), reffil::Error);
+}
+
+TEST(Dirichlet, SumsToOneAndAlphaControlsConcentration) {
+  util::Rng rng(3);
+  double low_alpha_max = 0.0, high_alpha_max = 0.0;
+  const int draws = 300;
+  for (int i = 0; i < draws; ++i) {
+    const auto low = data::sample_dirichlet(5, 0.1, rng);
+    const auto high = data::sample_dirichlet(5, 50.0, rng);
+    double low_sum = 0.0, high_sum = 0.0;
+    for (double v : low) {
+      low_sum += v;
+      low_alpha_max += *std::max_element(low.begin(), low.end()) / draws;
+      break;  // accumulate max once per draw
+    }
+    for (double v : high) {
+      high_sum += v;
+    }
+    low_sum = 0.0;
+    for (double v : low) low_sum += v;
+    high_sum = 0.0;
+    for (double v : high) high_sum += v;
+    EXPECT_NEAR(low_sum, 1.0, 1e-9);
+    EXPECT_NEAR(high_sum, 1.0, 1e-9);
+    high_alpha_max += *std::max_element(high.begin(), high.end()) / draws;
+  }
+  // Small alpha concentrates mass on few categories; large alpha is near
+  // uniform (max component ~ 1/5).
+  EXPECT_GT(low_alpha_max, 0.6);
+  EXPECT_LT(high_alpha_max, 0.3);
+}
+
+TEST(LabelSkew, PartitionIsTotalAndRespectsFloor) {
+  data::SyntheticDomainSource source(data::digits_five_spec());
+  const auto pool = source.train_split(0);
+  util::Rng rng(4);
+  const auto shards = data::label_skew_partition(
+      pool, 8, {.alpha = 0.5, .min_per_client = 4}, rng);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.size(), 4u);
+    total += shard.size();
+  }
+  EXPECT_EQ(total, pool.size());
+}
+
+TEST(LabelSkew, SmallAlphaSkewsLabelDistributions) {
+  const auto spec = data::digits_five_spec();
+  data::SyntheticDomainSource source(spec);
+  const auto pool = source.train_split(0);
+  util::Rng rng(5);
+  const auto shards = data::label_skew_partition(
+      pool, 6, {.alpha = 0.1, .min_per_client = 2}, rng);
+  // With alpha=0.1 at least one client must be missing at least one class —
+  // the defining contrast with the quantity-shift partitioner.
+  bool any_missing = false;
+  for (const auto& shard : shards) {
+    const auto hist = data::label_histogram(shard, spec.num_classes);
+    for (std::size_t count : hist) any_missing |= (count == 0);
+  }
+  EXPECT_TRUE(any_missing);
+}
+
+TEST(LabelSkew, LargeAlphaIsNearIid) {
+  const auto spec = data::digits_five_spec();
+  data::SyntheticDomainSource source(spec);
+  const auto pool = source.train_split(0);
+  util::Rng rng(6);
+  const auto shards = data::label_skew_partition(
+      pool, 4, {.alpha = 100.0, .min_per_client = 2}, rng);
+  for (const auto& shard : shards) {
+    const auto hist = data::label_histogram(shard, spec.num_classes);
+    for (std::size_t count : hist) EXPECT_GE(count, 1u);
+  }
+}
+
+namespace {
+data::DatasetSpec dropout_spec() {
+  data::DatasetSpec spec;
+  spec.name = "DropoutTiny";
+  spec.num_classes = 4;
+  spec.seed = 55;
+  data::DomainSpec d;
+  d.train_samples = 64;
+  d.test_samples = 20;
+  d.noise = 0.15f;
+  d.name = "A";
+  spec.domains.push_back(d);
+  spec.initial_clients = 6;
+  spec.clients_per_round = 4;
+  spec.client_increment = 0;
+  spec.rounds_per_task = 3;
+  spec.local_epochs = 1;
+  spec.learning_rate = 0.04f;
+  return spec;
+}
+}  // namespace
+
+TEST(Dropout, DropsUpdatesAndStillCompletes) {
+  const auto spec = dropout_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto method = harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  fed::FederatedRunner runner({.spec = spec,
+                               .parallelism = 1,
+                               .seed = 3,
+                               .dropout_probability = 0.5});
+  const auto result = runner.run(*method);
+  EXPECT_GT(result.network.dropped_updates, 0u);
+  // Some clients still got through.
+  EXPECT_GT(result.network.messages, 0u);
+  ASSERT_EQ(result.tasks.size(), 1u);
+}
+
+TEST(Dropout, ZeroProbabilityChangesNothing) {
+  const auto spec = dropout_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto run = [&](double p) {
+    auto method =
+        harness::make_method(harness::MethodKind::kFinetune, spec, config);
+    fed::FederatedRunner runner(
+        {.spec = spec, .parallelism = 1, .seed = 3, .dropout_probability = p});
+    return runner.run(*method);
+  };
+  const auto baseline = run(0.0);
+  const auto again = run(0.0);
+  EXPECT_EQ(baseline.network.dropped_updates, 0u);
+  EXPECT_DOUBLE_EQ(baseline.tasks[0].cumulative_accuracy,
+                   again.tasks[0].cumulative_accuracy);
+}
+
+TEST(EvalTaskPolicy, AllPoliciesProduceValidPredictions) {
+  cl::MethodConfig method_config;
+  method_config.net.num_classes = 4;
+  method_config.parallelism = 1;
+  method_config.max_tasks = 3;
+  for (const auto policy :
+       {core::EvalTaskPolicy::kLatest, core::EvalTaskPolicy::kEnsemble,
+        core::EvalTaskPolicy::kConfidence}) {
+    core::RefFiLConfig reffil;
+    reffil.eval_task_policy = policy;
+    core::RefFiLMethod method(method_config, reffil);
+    method.on_task_start(2);  // pretend two tasks learned
+    method.prepare_eval();
+    util::Rng rng(8);
+    for (int i = 0; i < 4; ++i) {
+      const auto label = method.predict(0, tensor::randn({1, 16, 16}, rng));
+      EXPECT_LT(label, 4u);
+    }
+  }
+}

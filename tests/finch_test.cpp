@@ -1,0 +1,161 @@
+// Tests for the FINCH first-neighbor clustering (paper Eq. 4-5).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "reffil/core/finch.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace C = reffil::core;
+namespace T = reffil::tensor;
+
+namespace {
+// Points around `count` well-separated directions ("domains").
+std::vector<T::Tensor> domain_blobs(std::size_t domains, std::size_t per_domain,
+                                    float spread, reffil::util::Rng& rng) {
+  std::vector<T::Tensor> centers;
+  for (std::size_t d = 0; d < domains; ++d) {
+    T::Tensor c({16});
+    // Orthogonal-ish centers: one hot block per domain, large magnitude.
+    for (std::size_t j = d * 3; j < d * 3 + 3 && j < 16; ++j) c.at(j) = 5.0f;
+    centers.push_back(std::move(c));
+  }
+  std::vector<T::Tensor> points;
+  for (std::size_t d = 0; d < domains; ++d) {
+    for (std::size_t i = 0; i < per_domain; ++i) {
+      T::Tensor p = centers[d];
+      T::add_inplace(p, T::randn({16}, rng, 0.0f, spread));
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+}  // namespace
+
+TEST(Finch, SinglePointIsOneCluster) {
+  const auto partition = C::finch_first_partition({T::Tensor::vector({1, 2})});
+  EXPECT_EQ(partition.num_clusters, 1u);
+  EXPECT_EQ(partition.labels, (std::vector<std::size_t>{0}));
+}
+
+TEST(Finch, TwoPointsAlwaysMerge) {
+  // Mutual nearest neighbours by construction.
+  const auto partition = C::finch_first_partition(
+      {T::Tensor::vector({1, 0}), T::Tensor::vector({0, 1})});
+  EXPECT_EQ(partition.num_clusters, 1u);
+}
+
+TEST(Finch, RejectsEmptyAndRaggedInput) {
+  EXPECT_THROW(C::finch_first_partition({}), reffil::Error);
+  EXPECT_THROW(C::finch_first_partition(
+                   {T::Tensor::vector({1, 2}), T::Tensor::vector({1, 2, 3})}),
+               reffil::Error);
+}
+
+TEST(Finch, ClustersNeverSpanDomains) {
+  // The first partition may split a blob into several mutual-NN islands
+  // (FINCH recurses to merge those), but no cluster may MIX two blobs:
+  // prompts from separate domains are never first neighbours.
+  reffil::util::Rng rng(1);
+  const auto points = domain_blobs(3, 8, 0.2f, rng);
+  const auto partition = C::finch_first_partition(points);
+  EXPECT_GE(partition.num_clusters, 3u);
+  std::map<std::size_t, std::set<std::size_t>> domains_of_cluster;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    domains_of_cluster[partition.labels[i]].insert(i / 8);
+  }
+  for (const auto& [cluster, domains] : domains_of_cluster) {
+    EXPECT_EQ(domains.size(), 1u) << "cluster " << cluster << " spans domains";
+  }
+}
+
+TEST(Finch, MergesSimilarPromptsAggressively) {
+  // One tight blob: the first partition merges at least pairs (every point
+  // links to its neighbour), and the full hierarchy bottoms out at one
+  // cluster.
+  reffil::util::Rng rng(2);
+  const auto points = domain_blobs(1, 12, 0.1f, rng);
+  const auto partition = C::finch_first_partition(points);
+  EXPECT_LE(partition.num_clusters, points.size() / 2);
+  const auto levels = C::finch_hierarchy(points);
+  EXPECT_EQ(levels.back().num_clusters, 1u);
+}
+
+TEST(Finch, ClusterMeansMatchBlobCenters) {
+  reffil::util::Rng rng(3);
+  const auto points = domain_blobs(2, 10, 0.15f, rng);
+  const auto partition = C::finch_first_partition(points);
+  ASSERT_GE(partition.num_clusters, 2u);
+  const auto means = C::cluster_means(points, partition);
+  for (const auto& mean : means) {
+    // Each mean must sit near one of the two blob centers — never between
+    // them (which would indicate a mixed cluster).
+    bool near_center = false;
+    for (std::size_t d = 0; d < 2; ++d) {
+      T::Tensor center({16});
+      for (std::size_t j = d * 3; j < d * 3 + 3; ++j) center.at(j) = 5.0f;
+      if (T::l2_norm(T::sub(mean, center)) < 1.5f) near_center = true;
+    }
+    EXPECT_TRUE(near_center);
+  }
+}
+
+TEST(Finch, HierarchyCoarsensMonotonically) {
+  reffil::util::Rng rng(4);
+  const auto points = domain_blobs(4, 6, 0.25f, rng);
+  const auto levels = C::finch_hierarchy(points);
+  ASSERT_FALSE(levels.empty());
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    EXPECT_LE(levels[l].num_clusters, levels[l - 1].num_clusters);
+  }
+  // Every level labels every original point.
+  for (const auto& level : levels) {
+    EXPECT_EQ(level.labels.size(), points.size());
+    for (std::size_t label : level.labels) EXPECT_LT(label, level.num_clusters);
+  }
+}
+
+TEST(Finch, RepresentativesEmptyInEmptyOut) {
+  EXPECT_TRUE(C::finch_representatives({}).empty());
+}
+
+TEST(Finch, RepresentativesPureAndBounded) {
+  reffil::util::Rng rng(5);
+  const auto points = domain_blobs(3, 7, 0.2f, rng);
+  const auto reps = C::finch_representatives(points);
+  EXPECT_GE(reps.size(), 3u);
+  EXPECT_LT(reps.size(), points.size());
+  for (const auto& rep : reps) {
+    bool near_center = false;
+    for (std::size_t d = 0; d < 3; ++d) {
+      T::Tensor center({16});
+      for (std::size_t j = d * 3; j < d * 3 + 3; ++j) center.at(j) = 5.0f;
+      if (T::l2_norm(T::sub(rep, center)) < 1.5f) near_center = true;
+    }
+    EXPECT_TRUE(near_center);
+  }
+}
+
+// Property sweep: partition invariants hold for random point sets of many
+// sizes — labels are a partition, cluster count is in [1, n].
+class FinchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FinchProperty, PartitionInvariants) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  reffil::util::Rng rng(100 + n);
+  std::vector<T::Tensor> points;
+  for (std::size_t i = 0; i < n; ++i) points.push_back(T::randn({8}, rng));
+  const auto partition = C::finch_first_partition(points);
+  EXPECT_GE(partition.num_clusters, 1u);
+  EXPECT_LE(partition.num_clusters, n);
+  // First-neighbour clustering always merges at least pairs when n >= 2.
+  if (n >= 2) EXPECT_LT(partition.num_clusters, n);
+  std::set<std::size_t> seen(partition.labels.begin(), partition.labels.end());
+  EXPECT_EQ(seen.size(), partition.num_clusters);
+  EXPECT_EQ(*seen.rbegin(), partition.num_clusters - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FinchProperty,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 33, 64));

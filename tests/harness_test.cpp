@@ -1,0 +1,220 @@
+// Tests for the experiment harness: scale profiles, seeds, the result
+// cache, run-result serialization, and paper reference lookups.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "reffil/harness/cache.hpp"
+#include "reffil/harness/experiment.hpp"
+#include "reffil/harness/tables.hpp"
+
+using namespace reffil;
+
+TEST(Scale, SmokeShrinksButStaysPartitionable) {
+  for (const auto& base : data::all_dataset_specs()) {
+    const auto smoke = harness::apply_scale(base, harness::Scale::kSmoke);
+    EXPECT_EQ(smoke.rounds_per_task, 1u);
+    EXPECT_EQ(smoke.local_epochs, 1u);
+    const std::size_t final_population =
+        smoke.initial_clients +
+        (smoke.domains.size() - 1) * smoke.client_increment;
+    for (const auto& domain : smoke.domains) {
+      EXPECT_GE(domain.train_samples, final_population * 4) << base.name;
+    }
+  }
+}
+
+TEST(Scale, FullDoublesDepth) {
+  const auto base = data::pacs_spec();
+  const auto full = harness::apply_scale(base, harness::Scale::kFull);
+  EXPECT_EQ(full.rounds_per_task, base.rounds_per_task * 2);
+  EXPECT_EQ(full.local_epochs, base.local_epochs * 2);
+  EXPECT_EQ(full.domains[0].train_samples, base.domains[0].train_samples * 2);
+}
+
+TEST(Scale, ScaledIsIdentity) {
+  const auto base = data::digits_five_spec();
+  const auto scaled = harness::apply_scale(base, harness::Scale::kScaled);
+  EXPECT_EQ(scaled.rounds_per_task, base.rounds_per_task);
+  EXPECT_EQ(scaled.domains[0].train_samples, base.domains[0].train_samples);
+}
+
+TEST(Seeds, DefaultFiveDistinct) {
+  unsetenv("REFFIL_BENCH_SEEDS");
+  const auto seeds = harness::bench_seeds();
+  EXPECT_EQ(seeds.size(), 5u);
+  std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+TEST(Seeds, EnvLimitsCount) {
+  setenv("REFFIL_BENCH_SEEDS", "2", 1);
+  EXPECT_EQ(harness::bench_seeds().size(), 2u);
+  setenv("REFFIL_BENCH_SEEDS", "99", 1);  // out of range -> default
+  EXPECT_EQ(harness::bench_seeds().size(), 5u);
+  unsetenv("REFFIL_BENCH_SEEDS");
+}
+
+TEST(MethodRegistry, BuildsEveryMethod) {
+  const auto spec = data::office_caltech10_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  for (const auto kind : harness::all_method_kinds()) {
+    const auto method = harness::make_method(kind, spec, config);
+    ASSERT_NE(method, nullptr);
+    EXPECT_EQ(method->name(), harness::method_display_name(kind));
+  }
+}
+
+namespace {
+fed::RunResult sample_result() {
+  fed::RunResult result;
+  result.method_name = "RefFiL";
+  result.dataset_name = "Digits-Five";
+  for (std::size_t t = 0; t < 3; ++t) {
+    fed::TaskResult task;
+    task.task = t;
+    task.domain_name = "D" + std::to_string(t);
+    for (std::size_t d = 0; d <= t; ++d) {
+      task.per_domain_accuracy.push_back(90.0 - 10.0 * static_cast<double>(d));
+    }
+    task.cumulative_accuracy = 80.0 + static_cast<double>(t);
+    result.tasks.push_back(std::move(task));
+  }
+  result.network.bytes_down = 1000;
+  result.network.bytes_up = 900;
+  result.network.messages = 42;
+  result.wall_seconds = 1.5;
+  return result;
+}
+}  // namespace
+
+TEST(RunResultSerialization, RoundTrip) {
+  const fed::RunResult original = sample_result();
+  util::ByteWriter writer;
+  harness::serialize_run_result(original, writer);
+  util::ByteReader reader(writer.bytes());
+  const fed::RunResult back = harness::deserialize_run_result(reader);
+  EXPECT_EQ(back.method_name, original.method_name);
+  EXPECT_EQ(back.dataset_name, original.dataset_name);
+  ASSERT_EQ(back.tasks.size(), original.tasks.size());
+  for (std::size_t t = 0; t < back.tasks.size(); ++t) {
+    EXPECT_EQ(back.tasks[t].domain_name, original.tasks[t].domain_name);
+    EXPECT_EQ(back.tasks[t].per_domain_accuracy,
+              original.tasks[t].per_domain_accuracy);
+    EXPECT_DOUBLE_EQ(back.tasks[t].cumulative_accuracy,
+                     original.tasks[t].cumulative_accuracy);
+  }
+  EXPECT_EQ(back.network.bytes_down, original.network.bytes_down);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, original.wall_seconds);
+}
+
+TEST(Cache, StoreThenLoad) {
+  setenv("REFFIL_CACHE_DIR", "/tmp/reffil_test_cache", 1);
+  std::filesystem::remove_all("/tmp/reffil_test_cache");
+  const std::string key =
+      harness::cache_key("Digits-Five", "orig", "RefFiL", 7, "scaled");
+  EXPECT_FALSE(harness::cache_load(key).has_value());
+  harness::cache_store(key, sample_result());
+  const auto loaded = harness::cache_load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->method_name, "RefFiL");
+  EXPECT_NEAR(loaded->average_accuracy(), 81.0, 1e-9);
+  unsetenv("REFFIL_CACHE_DIR");
+}
+
+TEST(Cache, DistinctKeysForDistinctCells) {
+  std::set<std::string> keys;
+  for (const char* dataset : {"Digits-Five", "PACS"}) {
+    for (const char* order : {"orig", "neworder"}) {
+      for (std::uint64_t seed : {1, 2}) {
+        keys.insert(harness::cache_key(dataset, order, "RefFiL", seed, "scaled"));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 8u);
+}
+
+TEST(Cache, OffDisablesEverything) {
+  setenv("REFFIL_CACHE_DIR", "off", 1);
+  EXPECT_FALSE(harness::cache_enabled());
+  harness::cache_store("whatever.cell", sample_result());
+  EXPECT_FALSE(harness::cache_load("whatever.cell").has_value());
+  unsetenv("REFFIL_CACHE_DIR");
+}
+
+TEST(Cache, CorruptEntryIsDiscarded) {
+  setenv("REFFIL_CACHE_DIR", "/tmp/reffil_test_cache2", 1);
+  std::filesystem::create_directories("/tmp/reffil_test_cache2");
+  const std::string key = "corrupt.cell";
+  {
+    std::ofstream out("/tmp/reffil_test_cache2/corrupt.cell", std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_FALSE(harness::cache_load(key).has_value());
+  unsetenv("REFFIL_CACHE_DIR");
+}
+
+TEST(PaperReference, KnownCellsPresent) {
+  const auto finetune =
+      harness::paper_reference("OfficeCaltech10", harness::MethodKind::kFinetune,
+                               /*new_order=*/false);
+  ASSERT_TRUE(finetune.has_value());
+  EXPECT_NEAR(finetune->avg, 44.56, 1e-9);
+  EXPECT_NEAR(finetune->last, 19.29, 1e-9);
+  ASSERT_EQ(finetune->steps.size(), 4u);
+  EXPECT_NEAR(finetune->steps[0], 76.56, 1e-9);
+
+  const auto reffil = harness::paper_reference(
+      "Digits-Five", harness::MethodKind::kRefFiL, /*new_order=*/true);
+  ASSERT_TRUE(reffil.has_value());
+  EXPECT_NEAR(reffil->avg, 69.36, 1e-9);
+}
+
+TEST(PaperReference, EveryTableCellHasAvgAndLast) {
+  for (const auto& spec : data::all_dataset_specs()) {
+    for (const auto kind : harness::all_method_kinds()) {
+      for (bool new_order : {false, true}) {
+        const auto cell = harness::paper_reference(spec.name, kind, new_order);
+        ASSERT_TRUE(cell.has_value())
+            << spec.name << " " << harness::method_display_name(kind);
+        EXPECT_GT(cell->avg, 0.0);
+        EXPECT_GT(cell->last, 0.0);
+      }
+    }
+  }
+}
+
+TEST(PaperReference, RefFiLIsFirstInPaperTables) {
+  // The paper's headline: RefFiL has the best Avg on every dataset in both
+  // orders — our encoded reference values must reflect that.
+  for (const auto& spec : data::all_dataset_specs()) {
+    for (bool new_order : {false, true}) {
+      const double reffil_avg =
+          harness::paper_reference(spec.name, harness::MethodKind::kRefFiL,
+                                   new_order)
+              ->avg;
+      for (const auto kind : harness::all_method_kinds()) {
+        if (kind == harness::MethodKind::kRefFiL) continue;
+        EXPECT_GT(reffil_avg,
+                  harness::paper_reference(spec.name, kind, new_order)->avg)
+            << spec.name;
+      }
+    }
+  }
+}
+
+TEST(PaperAblation, RowsMatchTableFive) {
+  const auto rows = harness::paper_ablation_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_FALSE(rows.front().cdap);  // Finetune row
+  EXPECT_TRUE(rows.back().cdap && rows.back().gpl && rows.back().dpcl);
+  EXPECT_NEAR(rows.back().avg, 53.56, 1e-9);
+  // Every component row in the paper improves on the baseline.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].avg, rows.front().avg);
+    EXPECT_GT(rows[i].last, rows.front().last);
+  }
+}

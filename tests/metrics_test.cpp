@@ -1,0 +1,143 @@
+// Tests for the metrics/analysis module: box statistics, forgetting
+// measures, silhouette/confusion scores, and t-SNE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reffil/metrics/stats.hpp"
+#include "reffil/metrics/tsne.hpp"
+#include "reffil/tensor/ops.hpp"
+
+namespace M = reffil::metrics;
+namespace T = reffil::tensor;
+
+TEST(BoxStats, SimpleFiveNumberSummary) {
+  const auto stats = M::box_stats({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(stats.median, 5.0);
+  EXPECT_DOUBLE_EQ(stats.q1, 3.0);
+  EXPECT_DOUBLE_EQ(stats.q3, 7.0);
+  EXPECT_DOUBLE_EQ(stats.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(stats.maximum, 9.0);
+  EXPECT_TRUE(stats.outliers.empty());
+}
+
+TEST(BoxStats, DetectsOutliers) {
+  const auto stats = M::box_stats({10, 11, 12, 13, 14, 100});
+  ASSERT_EQ(stats.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(stats.maximum, 14.0);  // whisker excludes the outlier
+}
+
+TEST(BoxStats, SingleValue) {
+  const auto stats = M::box_stats({42.0});
+  EXPECT_DOUBLE_EQ(stats.median, 42.0);
+  EXPECT_DOUBLE_EQ(stats.minimum, 42.0);
+  EXPECT_DOUBLE_EQ(stats.maximum, 42.0);
+}
+
+TEST(BoxStats, RejectsEmpty) { EXPECT_THROW(M::box_stats({}), reffil::Error); }
+
+TEST(Forgetting, ZeroWhenNothingForgotten) {
+  // acc[t][d]: domain accuracy stays put.
+  const std::vector<std::vector<double>> matrix{{90}, {90, 80}, {90, 80, 70}};
+  EXPECT_DOUBLE_EQ(M::forgetting_measure(matrix), 0.0);
+}
+
+TEST(Forgetting, MeasuresPeakToFinalDrop) {
+  const std::vector<std::vector<double>> matrix{
+      {90}, {70, 85}, {60, 65, 75}};
+  // domain 0: best 90, final 60 -> 30; domain 1: best 85, final 65 -> 20.
+  EXPECT_DOUBLE_EQ(M::forgetting_measure(matrix), 25.0);
+}
+
+TEST(Forgetting, SingleTaskIsZero) {
+  EXPECT_DOUBLE_EQ(M::forgetting_measure({{88.0}}), 0.0);
+}
+
+TEST(BackwardTransfer, NegativeUnderForgetting) {
+  const std::vector<std::vector<double>> matrix{{90}, {70, 85}};
+  // domain 0: final 70 - diagonal 90 = -20.
+  EXPECT_DOUBLE_EQ(M::backward_transfer(matrix), -20.0);
+}
+
+namespace {
+std::pair<std::vector<T::Tensor>, std::vector<std::size_t>> blob_data(
+    std::size_t clusters, std::size_t per_cluster, float spread,
+    std::uint64_t seed) {
+  reffil::util::Rng rng(seed);
+  std::vector<T::Tensor> points;
+  std::vector<std::size_t> labels;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      T::Tensor p = T::full({8}, static_cast<float>(c) * 6.0f);
+      T::add_inplace(p, T::randn({8}, rng, 0.0f, spread));
+      points.push_back(std::move(p));
+      labels.push_back(c);
+    }
+  }
+  return {points, labels};
+}
+}  // namespace
+
+TEST(Silhouette, HighForSeparatedClustersLowForMixed) {
+  auto [tight_points, tight_labels] = blob_data(3, 10, 0.3f, 1);
+  const double tight = M::silhouette_score(tight_points, tight_labels);
+  EXPECT_GT(tight, 0.7);
+
+  // Random labels on the same points: silhouette collapses.
+  reffil::util::Rng rng(2);
+  std::vector<std::size_t> random_labels = tight_labels;
+  rng.shuffle(random_labels);
+  const double mixed = M::silhouette_score(tight_points, random_labels);
+  EXPECT_LT(mixed, tight - 0.4);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  auto [points, labels] = blob_data(1, 10, 0.3f, 3);
+  EXPECT_DOUBLE_EQ(M::silhouette_score(points, labels), 0.0);
+}
+
+TEST(NeighbourConfusion, ZeroForSeparatedOneishForInterleaved) {
+  auto [points, labels] = blob_data(3, 10, 0.2f, 4);
+  EXPECT_DOUBLE_EQ(M::neighbour_confusion(points, labels), 0.0);
+  reffil::util::Rng rng(5);
+  std::vector<std::size_t> random_labels = labels;
+  rng.shuffle(random_labels);
+  EXPECT_GT(M::neighbour_confusion(points, random_labels), 0.3);
+}
+
+TEST(Tsne, OutputShapeAndFiniteness) {
+  auto [points, labels] = blob_data(2, 8, 0.4f, 6);
+  M::TsneConfig config;
+  config.iterations = 120;
+  const auto embedded = M::tsne(points, config);
+  ASSERT_EQ(embedded.size(), points.size());
+  for (const auto& p : embedded) {
+    EXPECT_EQ(p.shape(), (T::Shape{2}));
+    for (float v : p) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Tsne, PreservesClusterStructure) {
+  // Clear high-dimensional clusters must remain separated in 2-D: the
+  // embedded silhouette should stay high and confusion near zero.
+  auto [points, labels] = blob_data(3, 12, 0.3f, 7);
+  M::TsneConfig config;
+  config.iterations = 250;
+  const auto embedded = M::tsne(points, config);
+  EXPECT_GT(M::silhouette_score(embedded, labels), 0.5);
+  EXPECT_LT(M::neighbour_confusion(embedded, labels), 0.1);
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  auto [points, labels] = blob_data(2, 6, 0.4f, 8);
+  M::TsneConfig config;
+  config.iterations = 80;
+  const auto a = M::tsne(points, config);
+  const auto b = M::tsne(points, config);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i].all_close(b[i]));
+}
+
+TEST(Tsne, RejectsDegenerateInput) {
+  EXPECT_THROW(M::tsne({T::Tensor::vector({1, 2})}), reffil::Error);
+}

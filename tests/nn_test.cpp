@@ -1,0 +1,288 @@
+// Tests for the NN module layer: parameter registration, snapshot/load,
+// serialization, layer shapes, attention, the PromptNet backbone, and SGD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reffil/nn/attention.hpp"
+#include "reffil/nn/backbone.hpp"
+#include "reffil/nn/layers.hpp"
+#include "reffil/nn/optimizer.hpp"
+#include "reffil/tensor/ops.hpp"
+
+namespace AG = reffil::autograd;
+namespace T = reffil::tensor;
+namespace NN = reffil::nn;
+
+TEST(Linear, ForwardShapeAndBias) {
+  reffil::util::Rng rng(1);
+  NN::Linear layer(3, 5, rng);
+  EXPECT_EQ(layer.parameters().size(), 2u);
+  auto x = AG::constant(T::zeros({2, 3}));
+  auto y = layer.forward(x);
+  EXPECT_EQ(y->value().shape(), (T::Shape{2, 5}));
+  // Zero input: output equals bias (zero-initialised).
+  EXPECT_TRUE(y->value().all_close(T::zeros({2, 5})));
+}
+
+TEST(Mlp, HiddenReluIsApplied) {
+  reffil::util::Rng rng(2);
+  NN::Mlp mlp({4, 8, 3}, rng);
+  EXPECT_EQ(mlp.parameters().size(), 4u);
+  auto x = AG::constant(T::randn({5, 4}, rng));
+  auto y = mlp.forward(x);
+  EXPECT_EQ(y->value().shape(), (T::Shape{5, 3}));
+}
+
+TEST(Mlp, RejectsTooFewDims) {
+  reffil::util::Rng rng(3);
+  EXPECT_THROW(NN::Mlp({4}, rng), reffil::Error);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  NN::LayerNorm ln(4);
+  auto x = AG::constant(T::Tensor::matrix({{1, 2, 3, 4}, {10, 10, 10, 10}}));
+  auto y = ln.forward(x);
+  // First row: zero mean, unit variance (gain 1, bias 0).
+  float mean = 0.0f;
+  for (std::size_t j = 0; j < 4; ++j) mean += y->value().at2(0, j);
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5f);
+  // Constant row normalizes to ~0 (eps guards the zero variance).
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(y->value().at2(1, j), 0.0f, 1e-2f);
+}
+
+TEST(Embedding, LookupAndBounds) {
+  reffil::util::Rng rng(4);
+  NN::Embedding emb(6, 3, rng);
+  auto row2 = emb.forward(2);
+  EXPECT_EQ(row2->value().shape(), (T::Shape{1, 3}));
+  EXPECT_THROW(emb.forward(6), reffil::Error);
+}
+
+TEST(Conv2dLayer, ShapeAndParamCount) {
+  reffil::util::Rng rng(5);
+  NN::Conv2d conv(2, 4, 3, 1, 1, rng);
+  EXPECT_EQ(conv.parameters().size(), 2u);
+  auto x = AG::constant(T::zeros({2, 6, 6}));
+  auto y = conv.forward(x);
+  EXPECT_EQ(y->value().shape(), (T::Shape{4, 6, 6}));
+}
+
+TEST(Module, SnapshotLoadRoundTrip) {
+  reffil::util::Rng rng(6);
+  NN::Mlp a({3, 5, 2}, rng);
+  NN::Mlp b({3, 5, 2}, rng);  // different init
+  auto x = AG::constant(T::randn({2, 3}, rng));
+  EXPECT_FALSE(a.forward(x)->value().all_close(b.forward(x)->value()));
+  b.load(a.snapshot());
+  EXPECT_TRUE(a.forward(x)->value().all_close(b.forward(x)->value()));
+}
+
+TEST(Module, LoadRejectsWrongShapes) {
+  reffil::util::Rng rng(7);
+  NN::Linear a(3, 4, rng);
+  NN::Linear b(4, 3, rng);
+  EXPECT_THROW(a.load(b.snapshot()), reffil::Error);
+}
+
+TEST(Module, SerializeRoundTrip) {
+  reffil::util::Rng rng(8);
+  NN::Mlp a({4, 6, 2}, rng);
+  NN::Mlp b({4, 6, 2}, rng);
+  reffil::util::ByteWriter writer;
+  a.serialize(writer);
+  reffil::util::ByteReader reader(writer.bytes());
+  b.deserialize(reader);
+  auto x = AG::constant(T::randn({3, 4}, rng));
+  EXPECT_TRUE(a.forward(x)->value().all_close(b.forward(x)->value()));
+}
+
+TEST(Module, ParameterCountLinear) {
+  reffil::util::Rng rng(9);
+  NN::Linear layer(3, 5, rng);
+  EXPECT_EQ(layer.parameter_count(), 3u * 5u + 5u);
+}
+
+TEST(Attention, OutputShapePreserved) {
+  reffil::util::Rng rng(10);
+  NN::MultiHeadSelfAttention mhsa(8, 2, rng);
+  auto tokens = AG::constant(T::randn({5, 8}, rng));
+  auto out = mhsa.forward(tokens);
+  EXPECT_EQ(out->value().shape(), (T::Shape{5, 8}));
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  reffil::util::Rng rng(11);
+  EXPECT_THROW(NN::MultiHeadSelfAttention(10, 3, rng), reffil::Error);
+}
+
+TEST(Attention, GradientsFlowToAllProjections) {
+  reffil::util::Rng rng(12);
+  NN::MultiHeadSelfAttention mhsa(4, 2, rng);
+  auto tokens = AG::constant(T::randn({3, 4}, rng));
+  auto loss = AG::mean_all(mhsa.forward(tokens));
+  AG::backward(loss);
+  for (const auto& p : mhsa.parameters()) {
+    EXPECT_EQ(p->grad().shape(), p->value().shape());
+    // At least the weight matrices should have nonzero gradient.
+  }
+}
+
+TEST(AttentionBlock, ShapeAndGrad) {
+  reffil::util::Rng rng(13);
+  NN::AttentionBlock block(8, 2, 16, rng);
+  auto tokens = AG::constant(T::randn({4, 8}, rng));
+  auto out = block.forward(tokens);
+  EXPECT_EQ(out->value().shape(), (T::Shape{4, 8}));
+  AG::backward(AG::mean_all(out));
+}
+
+TEST(ResNetMini, FeatureMapShape) {
+  reffil::util::Rng rng(14);
+  NN::ResNetMini net(1, rng);
+  auto y = net.forward(AG::constant(T::randn({1, 16, 16}, rng)));
+  EXPECT_EQ(y->value().shape(),
+            (T::Shape{NN::ResNetMini::kFeatChannels, 4, 4}));
+}
+
+TEST(PatchEmbed, TokenCountAndDeterminism) {
+  NN::PatchEmbed pe1(32, 4, 2, 16, /*frozen_seed=*/77);
+  NN::PatchEmbed pe2(32, 4, 2, 16, /*frozen_seed=*/77);
+  EXPECT_EQ(pe1.num_tokens(), 4u);
+  reffil::util::Rng rng(15);
+  const T::Tensor fm = T::randn({32, 4, 4}, rng);
+  auto t1 = pe1.forward(AG::constant(fm));
+  auto t2 = pe2.forward(AG::constant(fm));
+  EXPECT_EQ(t1->value().shape(), (T::Shape{4, 16}));
+  EXPECT_TRUE(t1->value().all_close(t2->value()));  // same seed => identical
+}
+
+TEST(PatchEmbed, GathersCorrectPatchContents) {
+  // Use an identity-ish projection impossible here (random), so instead test
+  // the gather indirectly: two feature maps differing only inside patch (0,0)
+  // must produce identical tokens for all other patches.
+  NN::PatchEmbed pe(2, 4, 2, 8, 5);
+  reffil::util::Rng rng(16);
+  T::Tensor a = T::randn({2, 4, 4}, rng);
+  T::Tensor b = a;
+  b.at(0 * 16 + 0 * 4 + 1) += 1.0f;  // channel 0, row 0, col 1 -> patch (0,0)
+  auto ta = pe.forward(AG::constant(a));
+  auto tb = pe.forward(AG::constant(b));
+  EXPECT_FALSE(T::row(ta->value(), 0).all_close(T::row(tb->value(), 0)));
+  for (std::size_t t = 1; t < 4; ++t) {
+    EXPECT_TRUE(T::row(ta->value(), t).all_close(T::row(tb->value(), t)));
+  }
+}
+
+TEST(PromptNet, ForwardShapes) {
+  reffil::util::Rng rng(17);
+  NN::PromptNetConfig cfg;
+  cfg.num_classes = 7;
+  NN::PromptNet net(cfg, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  auto out = net.forward(image);
+  EXPECT_EQ(out.logits->value().shape(), (T::Shape{1, 7}));
+  EXPECT_EQ(out.cls->value().shape(), (T::Shape{1, cfg.token_dim}));
+  EXPECT_EQ(out.tokens->value().shape(), (T::Shape{net.num_tokens(), cfg.token_dim}));
+}
+
+TEST(PromptNet, PromptsChangeLogits) {
+  reffil::util::Rng rng(18);
+  NN::PromptNetConfig cfg;
+  NN::PromptNet net(cfg, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  auto plain = net.forward(image);
+  auto prompts = AG::constant(T::randn({3, cfg.token_dim}, rng));
+  auto prompted = net.forward(image, prompts);
+  EXPECT_EQ(prompted.logits->value().shape(), plain.logits->value().shape());
+  EXPECT_FALSE(prompted.logits->value().all_close(plain.logits->value()));
+}
+
+TEST(PromptNet, RejectsWrongImageAndPromptShapes) {
+  reffil::util::Rng rng(19);
+  NN::PromptNetConfig cfg;
+  NN::PromptNet net(cfg, rng);
+  EXPECT_THROW(net.forward(T::zeros({1, 8, 8})), reffil::ShapeError);
+  const T::Tensor image = T::zeros({1, 16, 16});
+  auto bad_prompts = AG::constant(T::zeros({2, cfg.token_dim + 1}));
+  EXPECT_THROW(net.forward(image, bad_prompts), reffil::ShapeError);
+}
+
+TEST(PromptNet, GradientsReachBackbone) {
+  reffil::util::Rng rng(20);
+  NN::PromptNetConfig cfg;
+  cfg.num_classes = 3;
+  NN::PromptNet net(cfg, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  auto out = net.forward(image);
+  net.zero_grad();
+  AG::backward(AG::cross_entropy_logits(out.logits, {1}));
+  std::size_t nonzero_params = 0;
+  for (const auto& p : net.parameters()) {
+    float norm = T::l2_norm(p->grad());
+    if (norm > 0.0f) ++nonzero_params;
+  }
+  // Every layer should receive some gradient signal.
+  EXPECT_GT(nonzero_params, net.parameters().size() / 2);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  auto p = AG::parameter(T::Tensor::vector({1.0f, -2.0f}));
+  NN::SgdOptimizer opt({p}, {.learning_rate = 0.1f});
+  AG::backward(AG::sum_all(AG::mul(p, p)));  // grad = 2p
+  opt.step();
+  EXPECT_TRUE(p->value().all_close(T::Tensor::vector({0.8f, -1.6f})));
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  auto p = AG::parameter(T::Tensor::vector({1.0f}));
+  NN::SgdOptimizer opt({p}, {.learning_rate = 0.1f, .momentum = 0.9f});
+  // Constant gradient of 1.0 twice: v1=1, step1 = -0.1; v2=1.9, step2=-0.19.
+  AG::backward(AG::sum_all(p));
+  opt.step();
+  EXPECT_NEAR(p->value().item(), 0.9f, 1e-6f);
+  opt.zero_grad();
+  AG::backward(AG::sum_all(p));
+  opt.step();
+  EXPECT_NEAR(p->value().item(), 0.9f - 0.19f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  auto p = AG::parameter(T::Tensor::vector({1.0f}));
+  NN::SgdOptimizer opt({p}, {.learning_rate = 0.1f, .weight_decay = 0.5f});
+  p->zero_grad();  // zero gradient; only decay acts
+  AG::backward(AG::mul_scalar(AG::sum_all(p), 0.0f));
+  opt.step();
+  EXPECT_NEAR(p->value().item(), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, TrainsPromptNetOnTinyTask) {
+  // Integration: PromptNet + SGD must overfit 8 images with 2 classes.
+  reffil::util::Rng rng(21);
+  NN::PromptNetConfig cfg;
+  cfg.num_classes = 2;
+  NN::PromptNet net(cfg, rng);
+  std::vector<T::Tensor> images;
+  std::vector<std::size_t> labels;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const float shift = (i % 2 == 0) ? 1.5f : -1.5f;
+    images.push_back(T::add_scalar(T::randn({1, 16, 16}, rng, 0.0f, 0.3f), shift));
+    labels.push_back(i % 2);
+  }
+  NN::SgdOptimizer opt(net.parameters(), {.learning_rate = 0.05f, .momentum = 0.9f});
+  float loss_value = 0.0f;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    opt.zero_grad();
+    AG::Var total;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      auto out = net.forward(images[i]);
+      auto ce = AG::cross_entropy_logits(out.logits, {labels[i]});
+      total = (i == 0) ? ce : AG::add(total, ce);
+    }
+    auto loss = AG::mul_scalar(total, 1.0f / static_cast<float>(images.size()));
+    AG::backward(loss);
+    opt.step();
+    loss_value = loss->value().item();
+  }
+  EXPECT_LT(loss_value, 0.2f);
+}

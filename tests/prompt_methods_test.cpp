@@ -1,0 +1,140 @@
+// Behavioural unit tests for the prompt baselines: L2P pool selection,
+// DualPrompt expert routing, and the pool / no-pool distinction.
+#include <gtest/gtest.h>
+
+#include "reffil/cl/dualprompt.hpp"
+#include "reffil/cl/l2p.hpp"
+#include "reffil/data/generator.hpp"
+#include "reffil/tensor/ops.hpp"
+
+using namespace reffil;
+namespace T = reffil::tensor;
+
+namespace {
+cl::MethodConfig small_config() {
+  cl::MethodConfig config;
+  config.net.num_classes = 4;
+  config.parallelism = 1;
+  config.max_tasks = 3;
+  config.batch_size = 4;
+  config.seed = 17;
+  return config;
+}
+
+data::Dataset tiny_shard(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::Dataset shard;
+  for (std::size_t i = 0; i < n; ++i) {
+    shard.push_back({T::randn({1, 16, 16}, rng), i % 4});
+  }
+  return shard;
+}
+
+fed::TrainJob shard_job(const data::Dataset& shard, std::size_t task) {
+  fed::TrainJob job;
+  job.worker_slot = 0;
+  job.task = task;
+  job.total_rounds = 1;
+  job.group = fed::ClientGroup::kNew;
+  job.new_data = &shard;
+  job.local_epochs = 1;
+  job.learning_rate = 0.03f;
+  return job;
+}
+}  // namespace
+
+TEST(L2p, ReplicaAddsPoolParameters) {
+  util::Rng rng(1);
+  cl::L2pReplica with_pool(small_config(), {.use_pool = true, .pool_size = 6}, rng);
+  // net + keys + prompts
+  EXPECT_EQ(with_pool.modules().size(), 3u);
+  EXPECT_EQ(with_pool.keys.count(), 6u);
+  EXPECT_EQ(with_pool.prompts.count(), 6u);
+}
+
+TEST(L2p, PoolAndNoPoolDivergeInTraining) {
+  // Same seed, same data: with key-matching enabled the selected prompts
+  // (and therefore the trained state) must eventually differ from the fixed
+  // first-k selection of the rehearsal-free variant.
+  const auto shard = tiny_shard(12, 2);
+  cl::L2pMethod no_pool(small_config(), {.use_pool = false});
+  cl::L2pMethod with_pool(small_config(), {.use_pool = true});
+  no_pool.on_task_start(0);
+  with_pool.on_task_start(0);
+  const auto job = shard_job(shard, 0);
+  const auto update_a = no_pool.train_client(no_pool.make_broadcast(), job);
+  const auto update_b = with_pool.train_client(with_pool.make_broadcast(), job);
+  EXPECT_NE(update_a.payload, update_b.payload);
+}
+
+TEST(L2p, EndToEndPredictInRange) {
+  const auto shard = tiny_shard(12, 3);
+  cl::L2pMethod method(small_config(), {.use_pool = true});
+  method.on_task_start(0);
+  const auto update = method.train_client(method.make_broadcast(),
+                                          shard_job(shard, 0));
+  method.aggregate({update});
+  method.prepare_eval();
+  util::Rng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LT(method.predict(0, T::randn({1, 16, 16}, rng)), 4u);
+  }
+}
+
+TEST(DualPrompt, ReplicaHasGeneralAndPerTaskExperts) {
+  util::Rng rng(5);
+  cl::DualPromptReplica replica(small_config(),
+                                {.use_pool = true, .general_rows = 2}, rng);
+  EXPECT_EQ(replica.general.count(), 2u);
+  EXPECT_EQ(replica.experts.count(), 3u);      // max_tasks
+  EXPECT_EQ(replica.expert_keys.count(), 3u);
+  EXPECT_EQ(replica.modules().size(), 4u);
+}
+
+TEST(DualPrompt, PoolVariantTrainsTaskSpecificExpert) {
+  // Training on task 1 must move expert row 1 but leave row 2 untouched.
+  const auto shard = tiny_shard(12, 6);
+  cl::DualPromptMethod method(small_config(), {.use_pool = true});
+  method.on_task_start(1);
+
+  // Snapshot expert rows before/after via the broadcast payload.
+  const auto before = method.make_broadcast();
+  const auto update = method.train_client(before, shard_job(shard, 1));
+  method.aggregate({update});
+  const auto after = method.make_broadcast();
+
+  // Parse both states and compare the experts table (4th module from the
+  // end ordering: net params come first; experts table is the second-to-last
+  // tensor, keys table the last).
+  util::ByteReader reader_before(before);
+  const auto state_before = fed::deserialize_state(reader_before);
+  util::ByteReader reader_after(after);
+  const auto state_after = fed::deserialize_state(reader_after);
+  ASSERT_EQ(state_before.size(), state_after.size());
+  const auto& experts_before = state_before[state_before.size() - 2];
+  const auto& experts_after = state_after[state_after.size() - 2];
+  ASSERT_EQ(experts_before.shape(), (T::Shape{3, 32}));
+  // Row 1 trained, row 2 untouched.
+  EXPECT_FALSE(T::row(experts_after, 1).all_close(T::row(experts_before, 1)));
+  EXPECT_TRUE(T::row(experts_after, 2).all_close(T::row(experts_before, 2)));
+}
+
+TEST(DualPrompt, NoPoolVariantAlwaysUsesSharedExpert) {
+  // In the rehearsal-free variant, training on task 1 moves expert row 0
+  // (the shared expert), not row 1.
+  const auto shard = tiny_shard(12, 7);
+  cl::DualPromptMethod method(small_config(), {.use_pool = false});
+  method.on_task_start(1);
+  const auto before = method.make_broadcast();
+  const auto update = method.train_client(before, shard_job(shard, 1));
+  method.aggregate({update});
+  const auto after = method.make_broadcast();
+  util::ByteReader reader_before(before);
+  const auto state_before = fed::deserialize_state(reader_before);
+  util::ByteReader reader_after(after);
+  const auto state_after = fed::deserialize_state(reader_after);
+  const auto& experts_before = state_before[state_before.size() - 2];
+  const auto& experts_after = state_after[state_after.size() - 2];
+  EXPECT_FALSE(T::row(experts_after, 0).all_close(T::row(experts_before, 0)));
+  EXPECT_TRUE(T::row(experts_after, 1).all_close(T::row(experts_before, 1)));
+}

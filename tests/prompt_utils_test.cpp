@@ -1,0 +1,118 @@
+// Unit tests for the shared prompt utilities and the aggregation helpers in
+// the harness (CellResult statistics).
+#include <gtest/gtest.h>
+
+#include "reffil/autograd/ops.hpp"
+#include "reffil/cl/prompt_utils.hpp"
+#include "reffil/harness/tables.hpp"
+#include "reffil/tensor/ops.hpp"
+
+namespace AG = reffil::autograd;
+namespace T = reffil::tensor;
+using namespace reffil;
+
+TEST(PromptQuery, IsDimTokenAndDeterministic) {
+  util::Rng rng(1);
+  nn::PromptNetConfig config;
+  nn::PromptNet net(config, rng);
+  const T::Tensor image = T::randn({1, 16, 16}, rng);
+  const T::Tensor q1 = cl::prompt_query(net, image);
+  const T::Tensor q2 = cl::prompt_query(net, image);
+  EXPECT_EQ(q1.shape(), (T::Shape{config.token_dim}));
+  EXPECT_TRUE(q1.all_close(q2));
+}
+
+TEST(TopKByCosine, RanksByAngleNotMagnitude) {
+  // keys: aligned (scaled), orthogonal, opposite.
+  const T::Tensor keys = T::Tensor::matrix({{10, 0}, {0, 1}, {-1, 0}});
+  const T::Tensor query = T::Tensor::vector({0.5f, 0});
+  const auto top2 = cl::top_k_by_cosine(keys, query, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0u);  // cos=1 despite large magnitude
+  EXPECT_EQ(top2[1], 1u);  // cos=0 beats cos=-1
+}
+
+TEST(TopKByCosine, ClampsKToTableSize) {
+  const T::Tensor keys = T::Tensor::matrix({{1, 0}, {0, 1}});
+  const auto all = cl::top_k_by_cosine(keys, T::Tensor::vector({1, 1}), 10);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(GatherRows, StacksSelectedRowsInOrder) {
+  auto table = AG::parameter(T::Tensor::matrix({{1, 2}, {3, 4}, {5, 6}}));
+  const auto picked = cl::gather_rows(table, {2, 0});
+  EXPECT_TRUE(picked->value().all_close(T::Tensor::matrix({{5, 6}, {1, 2}})));
+  EXPECT_THROW(cl::gather_rows(table, {}), reffil::Error);
+}
+
+TEST(GatherRows, GradientFlowsToSelectedRowsOnly) {
+  auto table = AG::parameter(T::zeros({3, 2}));
+  const auto picked = cl::gather_rows(table, {1});
+  AG::backward(AG::sum_all(picked));
+  EXPECT_FLOAT_EQ(table->grad().at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(table->grad().at2(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table->grad().at2(2, 1), 0.0f);
+}
+
+TEST(KeyPullLoss, ZeroWhenAlignedPositiveOtherwise) {
+  auto keys = AG::parameter(T::Tensor::matrix({{1, 0}, {0, 1}}));
+  const T::Tensor query = T::Tensor::vector({1, 0});
+  const auto aligned = cl::key_pull_loss(keys, {0}, query);
+  EXPECT_NEAR(aligned->value().item(), 0.0f, 1e-5f);
+  const auto orthogonal = cl::key_pull_loss(keys, {1}, query);
+  EXPECT_NEAR(orthogonal->value().item(), 1.0f, 1e-5f);
+}
+
+TEST(KeyPullLoss, GradientPullsKeyTowardQuery) {
+  auto keys = AG::parameter(T::Tensor::matrix({{0.0f, 1.0f}}));
+  const T::Tensor query = T::Tensor::vector({1, 0});
+  auto loss = cl::key_pull_loss(keys, {0}, query);
+  AG::backward(loss);
+  // Moving the key toward +x reduces the loss: gradient in x must be < 0.
+  EXPECT_LT(keys->grad().at2(0, 0), 0.0f);
+}
+
+namespace {
+fed::RunResult make_run(double step1, double step2) {
+  fed::RunResult run;
+  fed::TaskResult t1;
+  t1.task = 0;
+  t1.per_domain_accuracy = {step1};
+  t1.cumulative_accuracy = step1;
+  fed::TaskResult t2;
+  t2.task = 1;
+  t2.per_domain_accuracy = {step1 - 10.0, step2 + 10.0};
+  t2.cumulative_accuracy = step2;
+  run.tasks = {t1, t2};
+  return run;
+}
+}  // namespace
+
+TEST(CellResult, AveragesOverSeeds) {
+  harness::CellResult cell;
+  cell.runs = {make_run(80, 60), make_run(90, 70)};
+  EXPECT_NEAR(cell.avg(), ((80 + 60) / 2.0 + (90 + 70) / 2.0) / 2.0, 1e-9);
+  EXPECT_NEAR(cell.last(), 65.0, 1e-9);
+  const auto steps = cell.steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_NEAR(steps[0], 85.0, 1e-9);
+  EXPECT_NEAR(steps[1], 65.0, 1e-9);
+}
+
+TEST(CellResult, AccuracyMatrixShapeAndMeans) {
+  harness::CellResult cell;
+  cell.runs = {make_run(80, 60), make_run(90, 70)};
+  const auto matrix = cell.accuracy_matrix();
+  ASSERT_EQ(matrix.size(), 2u);
+  ASSERT_EQ(matrix[0].size(), 1u);
+  ASSERT_EQ(matrix[1].size(), 2u);
+  EXPECT_NEAR(matrix[0][0], 85.0, 1e-9);
+  EXPECT_NEAR(matrix[1][0], 75.0, 1e-9);  // (70 + 80) / 2
+}
+
+TEST(CellResult, EmptyCellThrows) {
+  harness::CellResult cell;
+  EXPECT_THROW(cell.avg(), reffil::Error);
+  EXPECT_THROW(cell.last(), reffil::Error);
+  EXPECT_THROW(cell.steps(), reffil::Error);
+}

@@ -1,0 +1,135 @@
+// Robustness tests for every deserializer in the library: random
+// truncations and byte corruptions of valid payloads must either parse (the
+// corruption may hit payload values, not structure) or throw a typed
+// SerializationError — never crash, hang, or allocate absurd amounts.
+#include <gtest/gtest.h>
+
+#include "reffil/fed/fedavg.hpp"
+#include "reffil/harness/cache.hpp"
+#include "reffil/nn/backbone.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/rng.hpp"
+
+using namespace reffil;
+
+namespace {
+
+std::vector<std::uint8_t> valid_tensor_bytes(std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::ByteWriter writer;
+  tensor::randn({3, 4, 2}, rng).serialize(writer);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> valid_state_bytes(std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::ByteWriter writer;
+  fed::serialize_state({tensor::randn({4, 4}, rng), tensor::randn({7}, rng)},
+                       writer);
+  return writer.take();
+}
+
+std::vector<std::uint8_t> valid_run_result_bytes() {
+  fed::RunResult result;
+  result.method_name = "RefFiL";
+  result.dataset_name = "PACS";
+  fed::TaskResult task;
+  task.task = 0;
+  task.domain_name = "Photo";
+  task.per_domain_accuracy = {88.0};
+  task.cumulative_accuracy = 88.0;
+  result.tasks.push_back(task);
+  util::ByteWriter writer;
+  harness::serialize_run_result(result, writer);
+  return writer.take();
+}
+
+template <typename Parse>
+void fuzz_payload(std::vector<std::uint8_t> base, const Parse& parse,
+                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Truncations at every prefix boundary sampled across the payload.
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.uniform_index(base.size()));
+    std::vector<std::uint8_t> truncated(base.begin(),
+                                        base.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      parse(truncated);
+    } catch (const SerializationError&) {
+      // expected
+    } catch (const Error&) {
+      // also fine: structured validation error
+    }
+  }
+  // Random single-byte corruptions.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> corrupted = base;
+    const auto pos = static_cast<std::size_t>(rng.uniform_index(base.size()));
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    try {
+      parse(corrupted);
+    } catch (const SerializationError&) {
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+
+TEST(SerializationFuzz, TensorNeverCrashes) {
+  fuzz_payload(valid_tensor_bytes(1),
+               [](const std::vector<std::uint8_t>& bytes) {
+                 util::ByteReader reader(bytes);
+                 tensor::Tensor::deserialize(reader);
+               },
+               11);
+}
+
+TEST(SerializationFuzz, ModelStateNeverCrashes) {
+  fuzz_payload(valid_state_bytes(2),
+               [](const std::vector<std::uint8_t>& bytes) {
+                 util::ByteReader reader(bytes);
+                 fed::deserialize_state(reader);
+               },
+               12);
+}
+
+TEST(SerializationFuzz, RunResultNeverCrashes) {
+  fuzz_payload(valid_run_result_bytes(),
+               [](const std::vector<std::uint8_t>& bytes) {
+                 util::ByteReader reader(bytes);
+                 harness::deserialize_run_result(reader);
+               },
+               13);
+}
+
+TEST(SerializationFuzz, ModuleDeserializeValidatesStructure) {
+  util::Rng rng(3);
+  nn::PromptNetConfig config;
+  config.num_classes = 3;
+  nn::PromptNet net(config, rng);
+  util::ByteWriter writer;
+  net.serialize(writer);
+  auto base = writer.take();
+  fuzz_payload(base,
+               [&](const std::vector<std::uint8_t>& bytes) {
+                 util::Rng fresh_rng(4);
+                 nn::PromptNet target(config, fresh_rng);
+                 util::ByteReader reader(bytes);
+                 target.deserialize(reader);
+               },
+               14);
+}
+
+TEST(SerializationFuzz, RandomGarbageIsRejectedOrParsed) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> garbage(1 + rng.uniform_index(256));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    util::ByteReader reader(garbage);
+    try {
+      fed::deserialize_state(reader);
+    } catch (const Error&) {
+    }
+  }
+}

@@ -1,0 +1,91 @@
+// Tests for the streaming domain+class-incremental extension.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "reffil/data/streaming.hpp"
+#include "reffil/harness/experiment.hpp"
+
+using namespace reffil;
+
+namespace {
+data::DatasetSpec stream_base() {
+  data::DatasetSpec base;
+  base.name = "StreamTestBase";
+  base.num_classes = 6;
+  base.seed = 9;
+  data::DomainSpec d;
+  d.train_samples = 120;
+  d.test_samples = 36;
+  d.noise = 0.15f;
+  d.name = "A";
+  base.domains.push_back(d);
+  d.name = "B";
+  base.domains.push_back(d);
+  base.initial_clients = 5;
+  base.clients_per_round = 3;
+  base.client_increment = 1;
+  base.rounds_per_task = 2;
+  base.local_epochs = 1;
+  base.learning_rate = 0.04f;
+  return base;
+}
+}  // namespace
+
+TEST(Streaming, FiltersClassesPerTask) {
+  const auto base = stream_base();
+  data::StreamingCurriculum stream(
+      base, {{0, {0, 1, 2}, "t1"}, {1, {0, 1, 2, 3, 4, 5}, "t2"}});
+  const auto t1 = stream.train_split(0);
+  for (const auto& s : t1) EXPECT_LT(s.label, 3u);
+  EXPECT_FALSE(t1.empty());
+  const auto t2_test = stream.test_split(1);
+  std::set<std::size_t> labels;
+  for (const auto& s : t2_test) labels.insert(s.label);
+  EXPECT_GT(labels.size(), 3u);  // the widened label space is present
+}
+
+TEST(Streaming, RunnerSpecMirrorsTasks) {
+  const auto base = stream_base();
+  data::StreamingCurriculum stream(base, {{0, {0, 1}, "first"}, {1, {0, 1, 2}, ""}});
+  const auto& spec = stream.runner_spec();
+  ASSERT_EQ(spec.domains.size(), 2u);
+  EXPECT_EQ(spec.domains[0].name, "first");
+  EXPECT_EQ(spec.domains[1].name, "B+3cls");  // auto-generated name
+}
+
+TEST(Streaming, RejectsInvalidTasks) {
+  const auto base = stream_base();
+  EXPECT_THROW(data::StreamingCurriculum(base, {}), reffil::Error);
+  EXPECT_THROW(data::StreamingCurriculum(base, {{5, {0}, ""}}), reffil::Error);
+  EXPECT_THROW(data::StreamingCurriculum(base, {{0, {}, ""}}), reffil::Error);
+  EXPECT_THROW(data::StreamingCurriculum(base, {{0, {0, 0}, ""}}), reffil::Error);
+  EXPECT_THROW(data::StreamingCurriculum(base, {{0, {9}, ""}}), reffil::Error);
+}
+
+TEST(Streaming, GrowingStreamClampsAtFullLabelSpace) {
+  const auto base = stream_base();
+  const auto stream = data::make_growing_stream(base, 4, 5);
+  ASSERT_EQ(stream->num_tasks(), 2u);
+  EXPECT_EQ(stream->task(0).classes.size(), 4u);
+  EXPECT_EQ(stream->task(1).classes.size(), 6u);  // clamped to num_classes
+}
+
+TEST(Streaming, EndToEndRunWithCustomSource) {
+  const auto base = stream_base();
+  const auto stream = data::make_growing_stream(base, 3, 3);
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto method =
+      harness::make_method(harness::MethodKind::kRefFiL, stream->runner_spec(), config);
+  fed::RunConfig run_config{.spec = stream->runner_spec(),
+                            .parallelism = 1,
+                            .seed = 13};
+  run_config.source = stream;
+  fed::FederatedRunner runner(run_config);
+  const auto result = runner.run(*method);
+  ASSERT_EQ(result.tasks.size(), 2u);
+  // Task 1 restricted to 3 classes: must beat the 33.3% chance level (the
+  // tiny 2-round curriculum only allows a margin, not convergence).
+  EXPECT_GT(result.tasks[0].cumulative_accuracy, 34.0);  // 1/3 chance = 33.3
+}

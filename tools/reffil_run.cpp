@@ -1,0 +1,196 @@
+// reffil_run — command-line driver for single experiments.
+//
+//   reffil_run --dataset PACS --method RefFiL --seed 7
+//   reffil_run --dataset Digits-Five --method Finetune --order new --json
+//   reffil_run --list
+//
+// Options:
+//   --dataset NAME    Digits-Five | OfficeCaltech10 | PACS | FedDomainNet
+//   --method NAME     Finetune | FedLwF | FedEWC | FedL2P | FedL2P+pool |
+//                     FedDualPrompt | FedDualPrompt+pool | RefFiL
+//   --order orig|new  domain order (default orig)
+//   --seed N          experiment seed (default 7)
+//   --scale S         smoke | scaled | full (default scaled)
+//   --dropout P       client dropout probability (default 0)
+//   --json            machine-readable output
+//   --list            print datasets and methods, then exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "reffil/data/spec.hpp"
+#include "reffil/harness/experiment.hpp"
+
+namespace {
+
+using namespace reffil;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dataset NAME --method NAME [--order orig|new] "
+               "[--seed N] [--scale smoke|scaled|full] [--dropout P] [--json]\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::optional<harness::MethodKind> parse_method(const std::string& name) {
+  using K = harness::MethodKind;
+  if (name == "Finetune") return K::kFinetune;
+  if (name == "FedLwF") return K::kLwf;
+  if (name == "FedEWC") return K::kEwc;
+  if (name == "FedL2P") return K::kL2p;
+  if (name == "FedL2P+pool") return K::kL2pPool;
+  if (name == "FedDualPrompt") return K::kDualPrompt;
+  if (name == "FedDualPrompt+pool") return K::kDualPromptPool;
+  if (name == "RefFiL") return K::kRefFiL;
+  return std::nullopt;
+}
+
+void print_json(const fed::RunResult& result) {
+  std::printf("{\"method\":\"%s\",\"dataset\":\"%s\",\"avg\":%.4f,"
+              "\"last\":%.4f,\"tasks\":[",
+              result.method_name.c_str(), result.dataset_name.c_str(),
+              result.average_accuracy(), result.last_accuracy());
+  for (std::size_t t = 0; t < result.tasks.size(); ++t) {
+    const auto& task = result.tasks[t];
+    std::printf("%s{\"domain\":\"%s\",\"cumulative\":%.4f,\"per_domain\":[",
+                t == 0 ? "" : ",", task.domain_name.c_str(),
+                task.cumulative_accuracy);
+    for (std::size_t d = 0; d < task.per_domain_accuracy.size(); ++d) {
+      std::printf("%s%.4f", d == 0 ? "" : ",", task.per_domain_accuracy[d]);
+    }
+    std::printf("]}");
+  }
+  std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"dropped\":%llu,"
+              "\"wall_seconds\":%.3f}\n",
+              static_cast<unsigned long long>(result.network.bytes_down),
+              static_cast<unsigned long long>(result.network.bytes_up),
+              static_cast<unsigned long long>(result.network.dropped_updates),
+              result.wall_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset_name, method_name, order = "orig", scale = "scaled";
+  std::uint64_t seed = 7;
+  double dropout = 0.0;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      std::printf("datasets:\n");
+      for (const auto& spec : data::all_dataset_specs()) {
+        std::printf("  %-16s %zu classes, %zu domains\n", spec.name.c_str(),
+                    spec.num_classes, spec.domains.size());
+      }
+      std::printf("methods:\n");
+      for (const auto kind : harness::all_method_kinds()) {
+        std::printf("  %s\n", harness::method_display_name(kind).c_str());
+      }
+      return 0;
+    } else if (arg == "--dataset") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      dataset_name = v;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      method_name = v;
+    } else if (arg == "--order") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      order = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scale = v;
+    } else if (arg == "--dropout") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      dropout = std::strtod(v, nullptr);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (dataset_name.empty() || method_name.empty()) return usage(argv[0]);
+
+  data::DatasetSpec spec;
+  bool found = false;
+  for (const auto& candidate : data::all_dataset_specs()) {
+    if (candidate.name == dataset_name) {
+      spec = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown dataset '%s' (see --list)\n",
+                 dataset_name.c_str());
+    return 2;
+  }
+  if (order == "new") {
+    spec = data::with_domain_order(spec, data::new_domain_order(spec.name));
+  } else if (order != "orig") {
+    std::fprintf(stderr, "unknown order '%s'\n", order.c_str());
+    return 2;
+  }
+  const auto kind = parse_method(method_name);
+  if (!kind) {
+    std::fprintf(stderr, "unknown method '%s' (see --list)\n",
+                 method_name.c_str());
+    return 2;
+  }
+
+  harness::ExperimentConfig config;
+  config.seed = seed;
+  config.scale = scale == "smoke"   ? harness::Scale::kSmoke
+                 : scale == "full"  ? harness::Scale::kFull
+                                    : harness::Scale::kScaled;
+
+  const auto scaled_spec = harness::apply_scale(spec, config.scale);
+  auto method = harness::make_method(*kind, scaled_spec, config);
+  fed::RunConfig run_config{.spec = scaled_spec,
+                            .parallelism = config.parallelism,
+                            .seed = config.seed,
+                            .dropout_probability = dropout};
+  fed::FederatedRunner runner(run_config);
+  const fed::RunResult result = runner.run(*method);
+
+  if (json) {
+    print_json(result);
+  } else {
+    std::printf("%s on %s (seed %llu, %s order, scale %s)\n",
+                result.method_name.c_str(), result.dataset_name.c_str(),
+                static_cast<unsigned long long>(seed), order.c_str(),
+                scale.c_str());
+    for (const auto& task : result.tasks) {
+      std::printf("  after %-14s cumulative %5.1f%%\n", task.domain_name.c_str(),
+                  task.cumulative_accuracy);
+    }
+    std::string dropped_note;
+    if (result.network.dropped_updates != 0) {
+      dropped_note = "  (" + std::to_string(result.network.dropped_updates) +
+                     " dropped updates)";
+    }
+    std::printf("Avg %.2f%%  Last %.2f%%  traffic %.1f MiB down / %.1f MiB up"
+                "%s  wall %.1fs\n",
+                result.average_accuracy(), result.last_accuracy(),
+                result.network.bytes_down / 1048576.0,
+                result.network.bytes_up / 1048576.0, dropped_note.c_str(),
+                result.wall_seconds);
+  }
+  return 0;
+}
