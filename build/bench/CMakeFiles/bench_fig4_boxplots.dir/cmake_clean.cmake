@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_boxplots.dir/bench_fig4_boxplots.cpp.o"
+  "CMakeFiles/bench_fig4_boxplots.dir/bench_fig4_boxplots.cpp.o.d"
+  "bench_fig4_boxplots"
+  "bench_fig4_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

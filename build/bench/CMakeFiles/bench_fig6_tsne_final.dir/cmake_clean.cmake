@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tsne_final.dir/bench_fig6_tsne_final.cpp.o"
+  "CMakeFiles/bench_fig6_tsne_final.dir/bench_fig6_tsne_final.cpp.o.d"
+  "bench_fig6_tsne_final"
+  "bench_fig6_tsne_final.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tsne_final.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_neworder_perdomain.dir/bench_table4_neworder_perdomain.cpp.o"
+  "CMakeFiles/bench_table4_neworder_perdomain.dir/bench_table4_neworder_perdomain.cpp.o.d"
+  "bench_table4_neworder_perdomain"
+  "bench_table4_neworder_perdomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_neworder_perdomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ablation_demo.dir/ablation_demo.cpp.o"
+  "CMakeFiles/example_ablation_demo.dir/ablation_demo.cpp.o.d"
+  "example_ablation_demo"
+  "example_ablation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ablation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_communication_analysis.dir/communication_analysis.cpp.o"
+  "CMakeFiles/example_communication_analysis.dir/communication_analysis.cpp.o.d"
+  "example_communication_analysis"
+  "example_communication_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_communication_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_scenario.dir/streaming_scenario.cpp.o"
+  "CMakeFiles/example_streaming_scenario.dir/streaming_scenario.cpp.o.d"
+  "example_streaming_scenario"
+  "example_streaming_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

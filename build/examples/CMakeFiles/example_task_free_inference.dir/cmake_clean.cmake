@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_task_free_inference.dir/task_free_inference.cpp.o"
+  "CMakeFiles/example_task_free_inference.dir/task_free_inference.cpp.o.d"
+  "example_task_free_inference"
+  "example_task_free_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_task_free_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

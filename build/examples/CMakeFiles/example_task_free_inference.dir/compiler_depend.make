@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_task_free_inference.
+# This may be replaced when dependencies are built.

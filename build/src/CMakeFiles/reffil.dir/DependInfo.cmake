@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reffil/autograd/ops.cpp" "src/CMakeFiles/reffil.dir/reffil/autograd/ops.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/autograd/ops.cpp.o.d"
+  "/root/repo/src/reffil/autograd/variable.cpp" "src/CMakeFiles/reffil.dir/reffil/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/autograd/variable.cpp.o.d"
+  "/root/repo/src/reffil/cl/dualprompt.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/dualprompt.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/dualprompt.cpp.o.d"
+  "/root/repo/src/reffil/cl/ewc.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/ewc.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/ewc.cpp.o.d"
+  "/root/repo/src/reffil/cl/l2p.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/l2p.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/l2p.cpp.o.d"
+  "/root/repo/src/reffil/cl/lwf.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/lwf.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/lwf.cpp.o.d"
+  "/root/repo/src/reffil/cl/method_base.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/method_base.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/method_base.cpp.o.d"
+  "/root/repo/src/reffil/cl/prompt_utils.cpp" "src/CMakeFiles/reffil.dir/reffil/cl/prompt_utils.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/cl/prompt_utils.cpp.o.d"
+  "/root/repo/src/reffil/core/cdap.cpp" "src/CMakeFiles/reffil.dir/reffil/core/cdap.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/core/cdap.cpp.o.d"
+  "/root/repo/src/reffil/core/finch.cpp" "src/CMakeFiles/reffil.dir/reffil/core/finch.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/core/finch.cpp.o.d"
+  "/root/repo/src/reffil/core/reffil.cpp" "src/CMakeFiles/reffil.dir/reffil/core/reffil.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/core/reffil.cpp.o.d"
+  "/root/repo/src/reffil/data/generator.cpp" "src/CMakeFiles/reffil.dir/reffil/data/generator.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/data/generator.cpp.o.d"
+  "/root/repo/src/reffil/data/label_skew.cpp" "src/CMakeFiles/reffil.dir/reffil/data/label_skew.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/data/label_skew.cpp.o.d"
+  "/root/repo/src/reffil/data/partition.cpp" "src/CMakeFiles/reffil.dir/reffil/data/partition.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/data/partition.cpp.o.d"
+  "/root/repo/src/reffil/data/spec.cpp" "src/CMakeFiles/reffil.dir/reffil/data/spec.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/data/spec.cpp.o.d"
+  "/root/repo/src/reffil/data/streaming.cpp" "src/CMakeFiles/reffil.dir/reffil/data/streaming.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/data/streaming.cpp.o.d"
+  "/root/repo/src/reffil/fed/fedavg.cpp" "src/CMakeFiles/reffil.dir/reffil/fed/fedavg.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/fed/fedavg.cpp.o.d"
+  "/root/repo/src/reffil/fed/runtime.cpp" "src/CMakeFiles/reffil.dir/reffil/fed/runtime.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/fed/runtime.cpp.o.d"
+  "/root/repo/src/reffil/fed/scheduler.cpp" "src/CMakeFiles/reffil.dir/reffil/fed/scheduler.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/fed/scheduler.cpp.o.d"
+  "/root/repo/src/reffil/harness/cache.cpp" "src/CMakeFiles/reffil.dir/reffil/harness/cache.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/harness/cache.cpp.o.d"
+  "/root/repo/src/reffil/harness/experiment.cpp" "src/CMakeFiles/reffil.dir/reffil/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/harness/experiment.cpp.o.d"
+  "/root/repo/src/reffil/harness/paper_values.cpp" "src/CMakeFiles/reffil.dir/reffil/harness/paper_values.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/harness/paper_values.cpp.o.d"
+  "/root/repo/src/reffil/harness/tables.cpp" "src/CMakeFiles/reffil.dir/reffil/harness/tables.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/harness/tables.cpp.o.d"
+  "/root/repo/src/reffil/metrics/stats.cpp" "src/CMakeFiles/reffil.dir/reffil/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/metrics/stats.cpp.o.d"
+  "/root/repo/src/reffil/metrics/tsne.cpp" "src/CMakeFiles/reffil.dir/reffil/metrics/tsne.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/metrics/tsne.cpp.o.d"
+  "/root/repo/src/reffil/nn/attention.cpp" "src/CMakeFiles/reffil.dir/reffil/nn/attention.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/nn/attention.cpp.o.d"
+  "/root/repo/src/reffil/nn/backbone.cpp" "src/CMakeFiles/reffil.dir/reffil/nn/backbone.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/nn/backbone.cpp.o.d"
+  "/root/repo/src/reffil/nn/layers.cpp" "src/CMakeFiles/reffil.dir/reffil/nn/layers.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/nn/layers.cpp.o.d"
+  "/root/repo/src/reffil/nn/module.cpp" "src/CMakeFiles/reffil.dir/reffil/nn/module.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/nn/module.cpp.o.d"
+  "/root/repo/src/reffil/nn/optimizer.cpp" "src/CMakeFiles/reffil.dir/reffil/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/nn/optimizer.cpp.o.d"
+  "/root/repo/src/reffil/tensor/ops.cpp" "src/CMakeFiles/reffil.dir/reffil/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/tensor/ops.cpp.o.d"
+  "/root/repo/src/reffil/tensor/tensor.cpp" "src/CMakeFiles/reffil.dir/reffil/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/tensor/tensor.cpp.o.d"
+  "/root/repo/src/reffil/util/logging.cpp" "src/CMakeFiles/reffil.dir/reffil/util/logging.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/util/logging.cpp.o.d"
+  "/root/repo/src/reffil/util/rng.cpp" "src/CMakeFiles/reffil.dir/reffil/util/rng.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/util/rng.cpp.o.d"
+  "/root/repo/src/reffil/util/thread_pool.cpp" "src/CMakeFiles/reffil.dir/reffil/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/reffil.dir/reffil/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

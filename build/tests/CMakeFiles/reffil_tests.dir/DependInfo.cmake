@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_property_test.cpp" "tests/CMakeFiles/reffil_tests.dir/autograd_property_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/autograd_property_test.cpp.o.d"
+  "/root/repo/tests/autograd_test.cpp" "tests/CMakeFiles/reffil_tests.dir/autograd_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/autograd_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/reffil_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/reffil_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fed_test.cpp" "tests/CMakeFiles/reffil_tests.dir/fed_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/fed_test.cpp.o.d"
+  "/root/repo/tests/finch_test.cpp" "tests/CMakeFiles/reffil_tests.dir/finch_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/finch_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/reffil_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/methods_test.cpp" "tests/CMakeFiles/reffil_tests.dir/methods_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/methods_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/reffil_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/reffil_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/prompt_methods_test.cpp" "tests/CMakeFiles/reffil_tests.dir/prompt_methods_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/prompt_methods_test.cpp.o.d"
+  "/root/repo/tests/prompt_utils_test.cpp" "tests/CMakeFiles/reffil_tests.dir/prompt_utils_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/prompt_utils_test.cpp.o.d"
+  "/root/repo/tests/reffil_core_test.cpp" "tests/CMakeFiles/reffil_tests.dir/reffil_core_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/reffil_core_test.cpp.o.d"
+  "/root/repo/tests/runtime_edge_test.cpp" "tests/CMakeFiles/reffil_tests.dir/runtime_edge_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/runtime_edge_test.cpp.o.d"
+  "/root/repo/tests/serialization_fuzz_test.cpp" "tests/CMakeFiles/reffil_tests.dir/serialization_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/serialization_fuzz_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/reffil_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/reffil_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/tensor_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/reffil_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/reffil_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/reffil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reffil_report.dir/reffil_report.cpp.o"
+  "CMakeFiles/reffil_report.dir/reffil_report.cpp.o.d"
+  "reffil_report"
+  "reffil_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reffil_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reffil_run.dir/reffil_run.cpp.o"
+  "CMakeFiles/reffil_run.dir/reffil_run.cpp.o.d"
+  "reffil_run"
+  "reffil_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reffil_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
