@@ -78,6 +78,13 @@ RunResult FederatedRunner::run(Method& method) {
 
     for (std::size_t round = 0; round < spec.rounds_per_task; ++round) {
       RoundPlan plan = scheduler.plan_round(task, round);
+      // The server broadcasts to every selected participant before it can
+      // know who will drop, so those bytes are metered against the full
+      // selection — including rounds where every participant is later lost.
+      const std::vector<std::uint8_t> broadcast = method.make_broadcast();
+      result.network.bytes_down +=
+          broadcast.size() * plan.participants.size();
+      result.network.messages += plan.participants.size();
       // Straggler/dropout simulation: drop participants before training so
       // the federation neither waits for nor aggregates their updates.
       if (config_.dropout_probability > 0.0) {
@@ -92,10 +99,6 @@ RunResult FederatedRunner::run(Method& method) {
         plan.participants = std::move(alive);
         if (plan.participants.empty()) continue;  // whole round lost
       }
-      const std::vector<std::uint8_t> broadcast = method.make_broadcast();
-      result.network.bytes_down +=
-          broadcast.size() * plan.participants.size();
-      result.network.messages += plan.participants.size();
 
       std::vector<ClientUpdate> updates(plan.participants.size());
       // Workers are indexed by a pre-assigned slot so each replica is used
@@ -164,6 +167,10 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
   auto& pool = util::global_thread_pool();
   for (std::size_t d = 0; d <= task; ++d) {
     const data::Dataset& test = test_set(d);
+    REFFIL_CHECK_MSG(!test.empty(),
+                     "evaluate_task: empty test split for domain '" +
+                         config_.spec.domains[d].name +
+                         "' — accuracy would be 0/0 (NaN)");
     std::atomic<std::size_t> correct{0};
     // Shard the test set across worker slots (one slot per concurrent call).
     pool.parallel_for(parallelism_, [&](std::size_t slot) {
@@ -181,6 +188,8 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
     total_correct += correct.load();
     total_count += test.size();
   }
+  REFFIL_CHECK_MSG(total_count > 0,
+                   "evaluate_task: no test samples across seen domains");
   task_result.cumulative_accuracy =
       100.0 * static_cast<double>(total_correct) /
       static_cast<double>(total_count);

@@ -32,6 +32,10 @@ AG::Var MultiHeadSelfAttention::forward(const AG::Var& tokens) const {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   AG::Var merged;  // concat of per-head outputs along columns
+  // Heads are evaluated sequentially because autograd graph construction is
+  // single-threaded by design; the per-head score/context matmuls and the
+  // row softmax are where the work lives, and those fan out on the global
+  // pool via the tensor::parallel dispatch when [T, dim] is large enough.
   for (std::size_t h = 0; h < heads_; ++h) {
     const std::size_t lo = h * head_dim_, hi = lo + head_dim_;
     const AG::Var qh = AG::slice_cols(q, lo, hi);

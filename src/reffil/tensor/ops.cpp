@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "reffil/tensor/parallel.hpp"
+
 namespace reffil::tensor {
 
+namespace P = parallel;
+
 namespace {
+
+/// Elementwise driver: runs fn(lo, hi) over [0, n), fanning out on the
+/// global pool above the elementwise threshold. Blocks are disjoint, so the
+/// result is bitwise identical to the serial loop either way.
+void elementwise_blocks(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (P::should_parallelize(n, P::kElementwiseThreshold)) {
+    P::for_range(n, P::kElementwiseThreshold / 2, fn);
+  } else {
+    fn(0, n);
+  }
+}
 
 void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   if (a.shape() != b.shape()) {
@@ -28,7 +44,9 @@ Tensor zip(const Tensor& a, const Tensor& b, const char* op,
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
-  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -71,13 +89,19 @@ Tensor div(const Tensor& a, const Tensor& b) {
 
 Tensor add_scalar(const Tensor& a, float s) {
   Tensor out = a;
-  for (float& v : out) v += s;
+  float* po = out.begin();
+  elementwise_blocks(out.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] += s;
+  });
   return out;
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
   Tensor out = a;
-  for (float& v : out) v *= s;
+  float* po = out.begin();
+  elementwise_blocks(out.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] *= s;
+  });
   return out;
 }
 
@@ -106,7 +130,9 @@ Tensor map(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
   const float* pa = a.begin();
   float* po = out.begin();
-  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -114,18 +140,25 @@ void add_inplace(Tensor& a, const Tensor& b) {
   require_same_shape(a, b, "add_inplace");
   float* pa = a.begin();
   const float* pb = b.begin();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   require_same_shape(a, b, "axpy_inplace");
   float* pa = a.begin();
   const float* pb = b.begin();
-  for (std::size_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pa[i] += s * pb[i];
+  });
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (float& v : a) v *= s;
+  float* pa = a.begin();
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pa[i] *= s;
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -137,11 +170,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                      shape_to_string(b.shape()));
   }
   Tensor out({m, n});
+  if (P::should_parallelize(m * n * k, P::kMatmulFlopThreshold)) {
+    P::matmul_into(a, b, out);
+    return out;
+  }
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
   // i-k-j loop order keeps the inner loop streaming over contiguous rows of
   // b and out, which is the main thing that matters for a BLAS-free kernel.
+  // (parallel::matmul_into runs the same kernel per row block, so results
+  // are bitwise identical on either side of the threshold.)
   for (std::size_t i = 0; i < m; ++i) {
     float* out_row = po + i * n;
     for (std::size_t kk = 0; kk < k; ++kk) {
@@ -158,6 +197,10 @@ Tensor transpose2d(const Tensor& a) {
   require_rank2(a, "transpose2d");
   const std::size_t m = a.dim(0), n = a.dim(1);
   Tensor out({n, m});
+  if (P::should_parallelize(m * n, P::kElementwiseThreshold)) {
+    P::transpose2d_into(a, out);
+    return out;
+  }
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) out.at(j * m + i) = a.at(i * n + j);
   }
@@ -256,16 +299,26 @@ Tensor softmax_rows(const Tensor& logits) {
   require_rank2(logits, "softmax_rows");
   const std::size_t m = logits.dim(0), n = logits.dim(1);
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* src = logits.begin() + i * n;
-    float* dst = out.begin() + i * n;
-    const float mx = *std::max_element(src, src + n);
-    double total = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      total += dst[j];
+  // Rows are independent, so the attention score matrices ([T, T] per head)
+  // partition cleanly across workers; per-row arithmetic is unchanged.
+  auto rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* src = logits.begin() + i * n;
+      float* dst = out.begin() + i * n;
+      const float mx = *std::max_element(src, src + n);
+      double total = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        dst[j] = std::exp(src[j] - mx);
+        total += dst[j];
+      }
+      for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(dst[j] / total);
     }
-    for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(dst[j] / total);
+  };
+  if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
+      m >= P::kRowThreshold) {
+    P::for_range(m, P::kRowThreshold / 2, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }
@@ -274,14 +327,22 @@ Tensor log_softmax_rows(const Tensor& logits) {
   require_rank2(logits, "log_softmax_rows");
   const std::size_t m = logits.dim(0), n = logits.dim(1);
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* src = logits.begin() + i * n;
-    float* dst = out.begin() + i * n;
-    const float mx = *std::max_element(src, src + n);
-    double total = 0.0;
-    for (std::size_t j = 0; j < n; ++j) total += std::exp(src[j] - mx);
-    const float log_total = static_cast<float>(std::log(total));
-    for (std::size_t j = 0; j < n; ++j) dst[j] = src[j] - mx - log_total;
+  auto rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* src = logits.begin() + i * n;
+      float* dst = out.begin() + i * n;
+      const float mx = *std::max_element(src, src + n);
+      double total = 0.0;
+      for (std::size_t j = 0; j < n; ++j) total += std::exp(src[j] - mx);
+      const float log_total = static_cast<float>(std::log(total));
+      for (std::size_t j = 0; j < n; ++j) dst[j] = src[j] - mx - log_total;
+    }
+  };
+  if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
+      m >= P::kRowThreshold) {
+    P::for_range(m, P::kRowThreshold / 2, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }

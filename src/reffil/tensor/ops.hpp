@@ -5,6 +5,12 @@
 // the *_scalar variants — implicit broadcasting is deliberately absent to
 // keep shape errors loud (Core Guidelines P.4: compile/run-time checkable
 // interfaces).
+//
+// Hot kernels (matmul, transpose2d, elementwise/axpy, row softmax) dispatch
+// to reffil/tensor/parallel.hpp above a size threshold and run on the
+// reentrant global thread pool; below it they use the serial loops. Both
+// paths produce bitwise-identical results (disjoint output partitions, same
+// per-element order), so numerics never depend on thread count.
 #pragma once
 
 #include <functional>
@@ -47,9 +53,10 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b);
 void scale_inplace(Tensor& a, float s);
 
 // ---- linear algebra ---------------------------------------------------------
-/// 2-D matrix product [m,k]x[k,n] -> [m,n] (cache-blocked).
+/// 2-D matrix product [m,k]x[k,n] -> [m,n] (cache-blocked; row-parallel
+/// above parallel::kMatmulFlopThreshold).
 Tensor matmul(const Tensor& a, const Tensor& b);
-/// 2-D transpose.
+/// 2-D transpose (parallel above parallel::kElementwiseThreshold).
 Tensor transpose2d(const Tensor& a);
 /// Matrix-vector product [m,k]x[k] -> [m].
 Tensor matvec(const Tensor& a, const Tensor& x);

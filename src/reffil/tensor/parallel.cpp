@@ -1,0 +1,77 @@
+#include "reffil/tensor/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "reffil/util/thread_pool.hpp"
+
+namespace reffil::tensor::parallel {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool should_parallelize(std::size_t work, std::size_t threshold) {
+  return work >= threshold && enabled() &&
+         util::global_thread_pool().size() > 1;
+}
+
+void for_range(std::size_t n, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t blocks = (n + grain - 1) / grain;
+  if (blocks <= 1) {
+    fn(0, n);
+    return;
+  }
+  util::global_thread_pool().parallel_for(blocks, [&](std::size_t b) {
+    fn(b * grain, std::min(n, (b + 1) * grain));
+  });
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  float* po = out.begin();
+  // Partition output rows; each row is produced by exactly one thread with
+  // the serial i-k-j order, so the result is bitwise equal to the serial
+  // kernel. Grain keeps at least ~kMatmulFlopThreshold/4 MACs per block.
+  const std::size_t row_cost = std::max<std::size_t>(1, k * n);
+  const std::size_t grain = std::max<std::size_t>(
+      1, kMatmulFlopThreshold / 4 / row_cost);
+  for_range(m, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* out_row = po + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = pa[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* b_row = pb + kk * n;
+        for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  });
+}
+
+void transpose2d_into(const Tensor& a, Tensor& out) {
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  const float* pa = a.begin();
+  float* po = out.begin();
+  // Partition the output rows (input columns) so writes stream contiguously.
+  const std::size_t grain =
+      std::max<std::size_t>(1, kElementwiseThreshold / std::max<std::size_t>(1, m));
+  for_range(n, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < m; ++i) po[j * m + i] = pa[i * n + j];
+    }
+  });
+}
+
+}  // namespace reffil::tensor::parallel

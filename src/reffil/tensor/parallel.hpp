@@ -1,0 +1,56 @@
+// Parallel tensor kernels layered on the reentrant thread pool.
+//
+// Every kernel here partitions its output across disjoint row/element blocks,
+// so each output element is written by exactly one thread with the same
+// per-element operation order as the serial kernel — results are therefore
+// bitwise identical to the serial code regardless of thread count. ops.cpp
+// dispatches to this layer above the thresholds below and keeps the plain
+// serial loops underneath them, so small tensors never pay fork/join
+// overhead and the parallel threshold is also a determinism boundary that is
+// trivially satisfied (identical either way).
+//
+// Reentrancy: these kernels run both from the application's top level (e.g.
+// bench_micro, single-client training) and from inside the federated
+// runtime's per-client parallel_for. In the nested case the pool inlines the
+// kernel on the caller's chunk, so client-level and kernel-level parallelism
+// compose without oversubscription or deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "reffil/tensor/tensor.hpp"
+
+namespace reffil::tensor::parallel {
+
+// ---- thresholds (see DESIGN.md §6) -----------------------------------------
+/// Minimum multiply-accumulate count (m*n*k) before matmul fans out.
+inline constexpr std::size_t kMatmulFlopThreshold = std::size_t{1} << 20;
+/// Minimum element count before elementwise/axpy/copy kernels fan out.
+inline constexpr std::size_t kElementwiseThreshold = std::size_t{1} << 15;
+/// Minimum row count before row-independent kernels (softmax) fan out.
+inline constexpr std::size_t kRowThreshold = 64;
+
+/// Process-wide switch (default on). Tests and benches disable it to compare
+/// parallel results against the serial kernels bit-for-bit.
+bool enabled();
+void set_enabled(bool on);
+
+/// True when the given problem size should use the parallel path: the switch
+/// is on, the global pool has more than one worker, and work >= threshold.
+bool should_parallelize(std::size_t work, std::size_t threshold);
+
+/// Run fn(lo, hi) over a partition of [0, n) into contiguous blocks of at
+/// least `grain` elements, on the global pool. fn must only write inside its
+/// own [lo, hi) block. Safe to call from inside pool tasks (runs inline).
+void for_range(std::size_t n, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)>& fn);
+
+// ---- kernels (write into preallocated outputs) -----------------------------
+/// out[m,n] += contribution of a[m,k] x b[k,n], rows of `out` partitioned
+/// across workers; `out` must be zero-initialised.
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[n,m] = transpose of a[m,n], output rows partitioned across workers.
+void transpose2d_into(const Tensor& a, Tensor& out);
+
+}  // namespace reffil::tensor::parallel

@@ -109,7 +109,10 @@ class ByteReader {
 
  private:
   void require(std::size_t n) const {
-    if (offset_ + n > size_) {
+    // Compare against the remaining length instead of `offset_ + n`, which
+    // wraps for attacker-controlled 64-bit lengths (e.g. a read_string
+    // length field near UINT64_MAX) and would bypass this check.
+    if (n > size_ - offset_) {
       throw SerializationError("buffer truncated: need " + std::to_string(n) +
                                " bytes, have " + std::to_string(size_ - offset_));
     }

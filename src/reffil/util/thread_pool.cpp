@@ -1,8 +1,20 @@
 #include "reffil/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace reffil::util {
+
+namespace {
+
+// Set while the current thread executes a pool task or a parallel_for chunk.
+// This is what makes the pool reentrant: a nested parallel_for sees the flag
+// and runs inline instead of enqueueing work it would then block on.
+thread_local bool tls_in_pool_task = false;
+
+}  // namespace
+
+bool ThreadPool::in_pool_task() { return tls_in_pool_task; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_in_pool_task = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,27 +50,67 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_chunks(ForkJoin& fj) {
+  // The body runs "inside a pool task" even when this is the submitting
+  // thread helping out — any parallel_for it issues must inline.
+  const bool was_in_task = tls_in_pool_task;
+  tls_in_pool_task = true;
+  for (;;) {
+    const std::size_t c = fj.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= fj.chunks) break;
+    const std::size_t lo = c * fj.n / fj.chunks;
+    const std::size_t hi = (c + 1) * fj.n / fj.chunks;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*fj.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(fj.m);
+      if (!fj.error) fj.error = std::current_exception();
+    }
+    if (fj.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        fj.chunks) {
+      // Empty critical section pairs with the caller's predicate check so
+      // the final notify cannot be lost.
+      std::lock_guard<std::mutex> lock(fj.m);
+      fj.done_cv.notify_all();
+    }
+  }
+  tls_in_pool_task = was_in_task;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (n == 1) {
-    body(0);
+  // Inline when there is nothing to fan out to (n == 1, no extra workers) or
+  // when we are already inside a pool task: the nested range becomes part of
+  // the caller's chunk, so nesting can never block a worker on itself.
+  if (n == 1 || workers_.size() <= 1 || tls_in_pool_task) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&body, i] { body(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  auto fj = std::make_shared<ForkJoin>();
+  fj->n = n;
+  fj->chunks = std::min(n, workers_.size() + 1);  // +1: the caller helps
+  fj->body = &body;
+
+  const std::size_t helpers = fj->chunks - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: parallel_for after stop");
+    }
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace([this, fj] { run_chunks(*fj); });
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  run_chunks(*fj);  // the caller claims chunks alongside the workers
+
+  std::unique_lock<std::mutex> lock(fj->m);
+  fj->done_cv.wait(lock, [&] {
+    return fj->done_chunks.load(std::memory_order_acquire) == fj->chunks;
+  });
+  if (fj->error) std::rethrow_exception(fj->error);
 }
 
 ThreadPool& global_thread_pool() {

@@ -1,11 +1,23 @@
-// Fixed-size thread pool used to run federated clients in parallel.
+// Reentrant, work-helping thread pool used to run federated clients in
+// parallel and to back the parallel tensor kernels underneath them.
 //
 // Semantics: submit() enqueues a task and returns a std::future; the pool
-// drains the queue with `threads` workers. parallel_for() is a convenience
-// that blocks until every index has been processed and rethrows the first
-// task exception on the calling thread.
+// drains the queue with `threads` workers. parallel_for() chunks the index
+// range into at most (workers + 1) contiguous chunks — one per worker plus
+// one for the caller — and the calling thread *helps* execute chunks instead
+// of blocking, so the pool's workers are never parked behind a waiting
+// caller. A parallel_for issued from inside a pool task (i.e. a nested
+// parallel_for) runs inline on the caller's chunk, which makes nesting
+// deadlock-free by construction: no task ever blocks on work that only an
+// occupied worker could run.
+//
+// Rules for callers:
+//  * parallel_for may be nested to any depth and called from any thread.
+//  * Tasks given to submit() must not block on futures of other tasks in the
+//    same pool; use parallel_for for fork/join parallelism instead.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -28,6 +40,11 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True while the current thread is executing a pool task or a
+  /// parallel_for chunk (of any pool). Nested parallel_for calls observe
+  /// this and run inline instead of re-entering the queue.
+  static bool in_pool_task();
+
   /// Enqueue a nullary callable; result/exception delivered via the future.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -44,10 +61,27 @@ class ThreadPool {
   }
 
   /// Run body(i) for i in [0, n); blocks until all complete. Rethrows the
-  /// first exception thrown by any body invocation.
+  /// first observed exception thrown by any body invocation. The calling
+  /// thread executes chunks itself (it never idles), and nested calls from
+  /// inside a pool task execute the whole range inline on the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
+  /// Shared fork/join state for one parallel_for call. Held by shared_ptr so
+  /// a straggler helper task that wakes after every chunk has been claimed
+  /// can still touch the counters safely.
+  struct ForkJoin {
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // guarded by m
+  };
+
+  void run_chunks(ForkJoin& fj);
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -57,7 +91,8 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Process-wide pool shared by the federated runtime (lazily constructed).
+/// Process-wide pool shared by the federated runtime and the parallel tensor
+/// kernels (lazily constructed).
 ThreadPool& global_thread_pool();
 
 }  // namespace reffil::util

@@ -40,14 +40,44 @@ TEST(RuntimeEdge, TotalDropoutSkipsEveryRoundButStillEvaluates) {
                                .seed = 1,
                                .dropout_probability = 1.0});
   const auto result = runner.run(*method);
-  // Every selected client dropped: no messages, no aggregation — but the
-  // curriculum still completes and evaluates the untrained model.
-  EXPECT_EQ(result.network.messages, 0u);
+  // Every selected client dropped: no uploads, no aggregation — but the
+  // curriculum still completes and evaluates the untrained model. The
+  // server's broadcast happened before anyone dropped, so the downlink
+  // traffic for the full selection is still metered (a real federation pays
+  // for those bytes whether or not the client answers).
+  const std::uint64_t selected =
+      spec.rounds_per_task * spec.clients_per_round;
+  EXPECT_EQ(result.network.messages, selected);  // broadcasts only
+  EXPECT_GT(result.network.bytes_down, 0u);
+  EXPECT_EQ(result.network.bytes_down % selected, 0u);  // selected × payload
   EXPECT_EQ(result.network.bytes_up, 0u);
-  EXPECT_EQ(result.network.dropped_updates,
-            spec.rounds_per_task * spec.clients_per_round);
+  EXPECT_EQ(result.network.dropped_updates, selected);
   ASSERT_EQ(result.tasks.size(), 1u);
   EXPECT_GE(result.tasks[0].cumulative_accuracy, 0.0);
+}
+
+TEST(RuntimeEdge, BroadcastBytesAreMeteredForDroppedClients) {
+  // Regression: bytes_down used to be metered after dropout filtering, so a
+  // federation with heavy dropout under-reported its downlink traffic. With
+  // identical seeds, the broadcast accounting must not depend on dropout.
+  const auto spec = one_domain_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto run_with_dropout = [&](double p) {
+    auto method =
+        harness::make_method(harness::MethodKind::kFinetune, spec, config);
+    fed::FederatedRunner runner({.spec = spec,
+                                 .parallelism = 1,
+                                 .seed = 5,
+                                 .dropout_probability = p});
+    return runner.run(*method);
+  };
+  const auto lossless = run_with_dropout(0.0);
+  const auto lossy = run_with_dropout(1.0);
+  EXPECT_GT(lossy.network.dropped_updates, 0u);
+  // Same rounds, same participant count, same per-round broadcast size for
+  // an untrained-vs-trained finetune payload of fixed tensor shapes.
+  EXPECT_EQ(lossy.network.bytes_down, lossless.network.bytes_down);
 }
 
 TEST(RuntimeEdge, SingleClientFederationWorks) {

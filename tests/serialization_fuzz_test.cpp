@@ -121,6 +121,33 @@ TEST(SerializationFuzz, ModuleDeserializeValidatesStructure) {
                14);
 }
 
+// Regression: ByteReader::require used to compute `offset_ + n`, which wraps
+// for attacker-controlled u64 lengths and bypassed the truncation check —
+// read_string with a length field near UINT64_MAX then read far out of
+// bounds instead of throwing.
+TEST(SerializationFuzz, WrappingStringLengthIsRejected) {
+  for (std::uint64_t length : {~std::uint64_t{0}, ~std::uint64_t{0} - 4,
+                               ~std::uint64_t{0} - 8, std::uint64_t{1} << 63}) {
+    util::ByteWriter writer;
+    writer.write_u64(length);
+    writer.write_u32(0xABADCAFE);  // a few real payload bytes after the field
+    const auto bytes = writer.bytes();
+    util::ByteReader reader(bytes);
+    EXPECT_THROW(reader.read_string(), SerializationError) << length;
+  }
+}
+
+TEST(SerializationFuzz, WrappingVectorLengthIsRejected) {
+  for (std::uint64_t length : {~std::uint64_t{0}, ~std::uint64_t{0} / 4,
+                               std::uint64_t{1} << 62}) {
+    util::ByteWriter writer;
+    writer.write_u64(length);
+    const auto bytes = writer.bytes();
+    util::ByteReader reader(bytes);
+    EXPECT_THROW(reader.read_pod_vector<float>(), SerializationError) << length;
+  }
+}
+
 TEST(SerializationFuzz, RandomGarbageIsRejectedOrParsed) {
   util::Rng rng(5);
   for (int trial = 0; trial < 100; ++trial) {

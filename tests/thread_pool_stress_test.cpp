@@ -1,0 +1,172 @@
+// Concurrency regression + stress tests for the reentrant thread pool.
+//
+// The nested-parallel_for cases are the regression for the seed pool's
+// deadlock: a task that itself called parallel_for blocked a worker on
+// futures no free worker could run. The reentrant pool executes nested
+// ranges inline on the caller's chunk, so these tests must complete (they
+// hang forever against the seed implementation). The whole file is also run
+// under ThreadSanitizer / AddressSanitizer via REFFIL_SANITIZE builds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "reffil/tensor/ops.hpp"
+#include "reffil/tensor/parallel.hpp"
+#include "reffil/util/rng.hpp"
+#include "reffil/util/thread_pool.hpp"
+
+using reffil::util::ThreadPool;
+namespace T = reffil::tensor;
+
+TEST(ThreadPoolReentrant, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  // Outer width > worker count guarantees every worker is occupied by an
+  // outer task when the inner loops start — the seed pool deadlocks here.
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 8 * 16);
+}
+
+TEST(ThreadPoolReentrant, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { hits.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(hits.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPoolReentrant, NestedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> outer(16);
+  std::vector<std::atomic<int>> inner(16 * 8);
+  pool.parallel_for(16, [&](std::size_t i) {
+    outer[i].fetch_add(1);
+    pool.parallel_for(8, [&](std::size_t j) { inner[i * 8 + j].fetch_add(1); });
+  });
+  for (const auto& h : outer) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : inner) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolReentrant, InPoolTaskFlagTracksExecutionContext) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::in_pool_task());
+  std::atomic<int> inside{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    if (ThreadPool::in_pool_task()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 4);
+  EXPECT_FALSE(ThreadPool::in_pool_task());
+}
+
+TEST(ThreadPoolReentrant, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(6,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(6, [&](std::size_t j) {
+                                     if (i == 2 && j == 3) {
+                                       throw std::runtime_error("inner boom");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  // The pool must still be usable after an exceptional parallel_for.
+  std::atomic<int> hits{0};
+  pool.parallel_for(10, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPoolReentrant, SubmittedTaskMayCallParallelFor) {
+  ThreadPool pool(2);
+  auto future = pool.submit([&] {
+    std::atomic<int> hits{0};
+    pool.parallel_for(32, [&](std::size_t) { hits.fetch_add(1); });
+    return hits.load();
+  });
+  EXPECT_EQ(future.get(), 32);
+}
+
+TEST(ThreadPoolStress, ManyProducersSubmitConcurrently) {
+  ThreadPool pool(4);
+  static constexpr int kProducers = 8;
+  static constexpr int kTasksEach = 200;
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kTasksEach);
+      for (int t = 0; t < kTasksEach; ++t) {
+        futures[p].push_back(pool.submit([p, t] { return p * kTasksEach + t; }));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  long long sum = 0;
+  for (auto& per_producer : futures) {
+    for (auto& future : per_producer) sum += future.get();
+  }
+  const long long n = kProducers * kTasksEach;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForFromManyExternalThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<std::atomic<int>> hits(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        pool.parallel_for(64, [&](std::size_t) { hits[c].fetch_add(1); });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 20 * 64);
+}
+
+TEST(ThreadPoolStress, SubmitRacesWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted_done{0};
+  std::vector<std::future<void>> futures;
+  std::thread submitter([&] {
+    for (int t = 0; t < 100; ++t) {
+      futures.push_back(pool.submit([&] { submitted_done.fetch_add(1); }));
+    }
+  });
+  std::atomic<int> pf_hits{0};
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    pool.parallel_for(32, [&](std::size_t) { pf_hits.fetch_add(1); });
+  }
+  submitter.join();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(pf_hits.load(), 20 * 32);
+  EXPECT_EQ(submitted_done.load(), 100);
+}
+
+// The end-to-end shape that motivated the rework: the federated runtime
+// fans out over clients on the global pool, and each client's training math
+// issues parallel tensor kernels — which must inline, not deadlock.
+TEST(ThreadPoolReentrant, TensorKernelsInsideGlobalPoolTasks) {
+  auto& pool = reffil::util::global_thread_pool();
+  const std::size_t n = 128;  // 128^3 MACs is above kMatmulFlopThreshold
+  reffil::util::Rng rng(7);
+  const T::Tensor a = T::randn({n, n}, rng);
+  const T::Tensor b = T::randn({n, n}, rng);
+  const T::Tensor expected = T::matmul(a, b);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    const T::Tensor got = T::matmul(a, b);
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      if (got.at(i) != expected.at(i)) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
