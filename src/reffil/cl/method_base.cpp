@@ -5,6 +5,7 @@
 #include "reffil/autograd/ops.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/util/error.hpp"
+#include "reffil/util/obs.hpp"
 
 namespace reffil::cl {
 
@@ -111,6 +112,7 @@ std::vector<MethodBase::TaggedSample> MethodBase::local_view(
 
 fed::ClientUpdate MethodBase::train_client(
     const std::vector<std::uint8_t>& broadcast, const fed::TrainJob& job) {
+  obs::ScopedTimer timer("cl.train_client_seconds");
   Replica& rep = replica(job.worker_slot);
 
   util::ByteReader reader(broadcast);
@@ -118,6 +120,8 @@ fed::ClientUpdate MethodBase::train_client(
   read_broadcast_extras(reader, job.worker_slot);
 
   std::vector<TaggedSample> view = local_view(job);
+  obs::count("cl.clients_trained");
+  obs::count("cl.samples_trained", view.size() * job.local_epochs);
   // Deterministic per-(client, task, round) stream, independent of thread
   // scheduling.
   util::Rng rng(config_.seed ^ (job.client_id * 0x9E3779B9ULL) ^
@@ -159,6 +163,8 @@ fed::ClientUpdate MethodBase::train_client(
 
 void MethodBase::aggregate(const std::vector<fed::ClientUpdate>& updates) {
   REFFIL_CHECK_MSG(!updates.empty(), "aggregate: no updates");
+  obs::count("cl.aggregations");
+  obs::count("cl.updates_aggregated", updates.size());
   std::vector<fed::ModelState> states;
   std::vector<double> weights;
   states.reserve(updates.size());

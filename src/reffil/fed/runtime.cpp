@@ -7,6 +7,7 @@
 #include "reffil/data/partition.hpp"
 #include "reffil/util/error.hpp"
 #include "reffil/util/logging.hpp"
+#include "reffil/util/obs.hpp"
 #include "reffil/util/thread_pool.hpp"
 
 namespace reffil::fed {
@@ -21,6 +22,24 @@ double RunResult::average_accuracy() const {
 double RunResult::last_accuracy() const {
   REFFIL_CHECK_MSG(!tasks.empty(), "no task results");
   return tasks.back().cumulative_accuracy;
+}
+
+double RunResult::train_seconds() const {
+  double total = 0.0;
+  for (const auto& r : rounds) total += r.train_seconds;
+  return total;
+}
+
+double RunResult::aggregate_seconds() const {
+  double total = 0.0;
+  for (const auto& r : rounds) total += r.aggregate_seconds;
+  return total;
+}
+
+double RunResult::eval_seconds() const {
+  double total = 0.0;
+  for (const auto& t : tasks) total += t.eval_seconds;
+  return total;
 }
 
 FederatedRunner::FederatedRunner(RunConfig config)
@@ -67,6 +86,21 @@ RunResult FederatedRunner::run(Method& method) {
 
   auto& pool = util::global_thread_pool();
 
+  // Observability: metric handles are resolved once per run; the trace flag
+  // is latched here so a mid-run REFFIL_TRACE change cannot tear the stream.
+  const bool tracing = obs::trace_enabled();
+  obs::Counter& rounds_counter = obs::counter("fed.rounds");
+  obs::Histogram& train_time = obs::histogram("fed.round_train_seconds");
+  obs::Histogram& aggregate_time = obs::histogram("fed.aggregate_seconds");
+  if (tracing) {
+    obs::trace(obs::TraceEvent("run_start")
+                   .field("method", result.method_name)
+                   .field("dataset", result.dataset_name)
+                   .field("tasks", spec.domains.size())
+                   .field("rounds_per_task", spec.rounds_per_task)
+                   .field("seed", config_.seed));
+  }
+
   for (std::size_t task = 0; task < spec.domains.size(); ++task) {
     method.on_task_start(task);
 
@@ -78,13 +112,25 @@ RunResult FederatedRunner::run(Method& method) {
 
     for (std::size_t round = 0; round < spec.rounds_per_task; ++round) {
       RoundPlan plan = scheduler.plan_round(task, round);
+      RoundStats round_stats;
+      round_stats.task = static_cast<std::uint32_t>(task);
+      round_stats.round = static_cast<std::uint32_t>(round);
+      round_stats.selected = static_cast<std::uint32_t>(plan.participants.size());
       // The server broadcasts to every selected participant before it can
       // know who will drop, so those bytes are metered against the full
       // selection — including rounds where every participant is later lost.
       const std::vector<std::uint8_t> broadcast = method.make_broadcast();
-      result.network.bytes_down +=
-          broadcast.size() * plan.participants.size();
+      round_stats.bytes_down = broadcast.size() * plan.participants.size();
+      result.network.bytes_down += round_stats.bytes_down;
       result.network.messages += plan.participants.size();
+      if (tracing) {
+        obs::trace(obs::TraceEvent("broadcast")
+                       .field("task", task)
+                       .field("round", round)
+                       .field("participants", plan.participants.size())
+                       .field("payload_bytes", broadcast.size())
+                       .field("bytes_down", round_stats.bytes_down));
+      }
       // Straggler/dropout simulation: drop participants before training so
       // the federation neither waits for nor aggregates their updates.
       if (config_.dropout_probability > 0.0) {
@@ -92,15 +138,26 @@ RunResult FederatedRunner::run(Method& method) {
         for (const auto& assignment : plan.participants) {
           if (dropout_rng.bernoulli(config_.dropout_probability)) {
             ++result.network.dropped_updates;
+            ++round_stats.dropped;
+            if (tracing) {
+              obs::trace(obs::TraceEvent("dropout")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", assignment.client_id));
+            }
           } else {
             alive.push_back(assignment);
           }
         }
         plan.participants = std::move(alive);
-        if (plan.participants.empty()) continue;  // whole round lost
+        if (plan.participants.empty()) {  // whole round lost
+          result.rounds.push_back(round_stats);
+          continue;
+        }
       }
 
       std::vector<ClientUpdate> updates(plan.participants.size());
+      std::vector<double> client_seconds(plan.participants.size(), 0.0);
       // Workers are indexed by a pre-assigned slot so each replica is used
       // by exactly one concurrent client.
       std::vector<std::size_t> slots(plan.participants.size());
@@ -111,6 +168,7 @@ RunResult FederatedRunner::run(Method& method) {
       for (std::size_t i = 0; i < plan.participants.size(); ++i) {
         by_slot[slots[i]].push_back(i);
       }
+      const auto train_start = std::chrono::steady_clock::now();
       pool.parallel_for(parallelism_, [&](std::size_t slot) {
         for (std::size_t i : by_slot[slot]) {
           const ClientAssignment& assignment = plan.participants[i];
@@ -129,16 +187,52 @@ RunResult FederatedRunner::run(Method& method) {
           if (task > 0 && assignment.group != ClientGroup::kNew) {
             job.old_data = &shards[task - 1][assignment.client_id];
           }
+          const auto client_start = std::chrono::steady_clock::now();
           updates[i] = method.train_client(broadcast, job);
           updates[i].client_id = assignment.client_id;
+          client_seconds[i] = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - client_start)
+                                  .count();
         }
       });
+      round_stats.train_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        train_start)
+              .count();
+      train_time.observe(round_stats.train_seconds);
 
-      for (const auto& update : updates) {
-        result.network.bytes_up += update.payload.size();
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        round_stats.bytes_up += updates[i].payload.size();
         ++result.network.messages;
+        if (tracing) {
+          obs::trace(obs::TraceEvent("client_train")
+                         .field("task", task)
+                         .field("round", round)
+                         .field("client", plan.participants[i].client_id)
+                         .field("group", to_string(plan.participants[i].group))
+                         .field("slot", slots[i])
+                         .field("wall_s", client_seconds[i])
+                         .field("samples", updates[i].num_samples)
+                         .field("bytes_up", updates[i].payload.size()));
+        }
       }
+      result.network.bytes_up += round_stats.bytes_up;
+      const auto agg_start = std::chrono::steady_clock::now();
       method.aggregate(updates);
+      round_stats.aggregate_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        agg_start)
+              .count();
+      aggregate_time.observe(round_stats.aggregate_seconds);
+      if (tracing) {
+        obs::trace(obs::TraceEvent("aggregate")
+                       .field("task", task)
+                       .field("round", round)
+                       .field("updates", updates.size())
+                       .field("wall_s", round_stats.aggregate_seconds));
+      }
+      rounds_counter.add(1);
+      result.rounds.push_back(round_stats);
     }
 
     evaluate_task(method, task, result);
@@ -153,6 +247,23 @@ RunResult FederatedRunner::run(Method& method) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
           .count();
+  obs::count("fed.runs");
+  obs::count("fed.bytes_down", result.network.bytes_down);
+  obs::count("fed.bytes_up", result.network.bytes_up);
+  obs::count("fed.dropped_updates", result.network.dropped_updates);
+  if (tracing) {
+    obs::trace(obs::TraceEvent("run_end")
+                   .field("method", result.method_name)
+                   .field("dataset", result.dataset_name)
+                   .field("bytes_down", result.network.bytes_down)
+                   .field("bytes_up", result.network.bytes_up)
+                   .field("messages", result.network.messages)
+                   .field("dropped_updates", result.network.dropped_updates)
+                   .field("avg_accuracy", result.average_accuracy())
+                   .field("last_accuracy", result.last_accuracy())
+                   .field("wall_s", result.wall_seconds));
+    obs::flush_trace();
+  }
   return result;
 }
 
@@ -163,6 +274,10 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
   task_result.task = task;
   task_result.domain_name = config_.spec.domains[task].name;
 
+  const bool tracing = obs::trace_enabled();
+  obs::Histogram& eval_time = obs::histogram("fed.eval_seconds");
+  const auto eval_start = std::chrono::steady_clock::now();
+
   std::size_t total_correct = 0, total_count = 0;
   auto& pool = util::global_thread_pool();
   for (std::size_t d = 0; d <= task; ++d) {
@@ -172,6 +287,7 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
                          config_.spec.domains[d].name +
                          "' — accuracy would be 0/0 (NaN)");
     std::atomic<std::size_t> correct{0};
+    const auto domain_start = std::chrono::steady_clock::now();
     // Shard the test set across worker slots (one slot per concurrent call).
     pool.parallel_for(parallelism_, [&](std::size_t slot) {
       std::size_t local_correct = 0;
@@ -185,6 +301,18 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
     task_result.per_domain_accuracy.push_back(
         100.0 * static_cast<double>(correct.load()) /
         static_cast<double>(test.size()));
+    if (tracing) {
+      obs::trace(obs::TraceEvent("eval")
+                     .field("task", task)
+                     .field("domain", d)
+                     .field("domain_name", config_.spec.domains[d].name)
+                     .field("accuracy", task_result.per_domain_accuracy.back())
+                     .field("samples", test.size())
+                     .field("wall_s",
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - domain_start)
+                                .count()));
+    }
     total_correct += correct.load();
     total_count += test.size();
   }
@@ -193,6 +321,11 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
   task_result.cumulative_accuracy =
       100.0 * static_cast<double>(total_correct) /
       static_cast<double>(total_count);
+  task_result.eval_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    eval_start)
+          .count();
+  eval_time.observe(task_result.eval_seconds);
   result.tasks.push_back(std::move(task_result));
 }
 

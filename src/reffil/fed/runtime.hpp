@@ -57,6 +57,7 @@ struct TaskResult {
   std::vector<double> per_domain_accuracy;  ///< on each seen domain's test set
   double cumulative_accuracy = 0.0;  ///< over the union of seen test sets —
                                      ///< the paper's per-step accuracy
+  double eval_seconds = 0.0;  ///< wall time of this task's evaluation sweep
 };
 
 struct NetworkStats {
@@ -66,17 +67,36 @@ struct NetworkStats {
   std::uint64_t dropped_updates = 0;  ///< client dropouts (see RunConfig)
 };
 
+/// Timing / traffic breakdown of one communication round. The sums over all
+/// rounds reconcile exactly with RunResult::network (bytes, drops) — the
+/// REFFIL_TRACE JSONL stream carries the same numbers per event.
+struct RoundStats {
+  std::uint32_t task = 0;
+  std::uint32_t round = 0;
+  std::uint32_t selected = 0;  ///< participants chosen (before dropout)
+  std::uint32_t dropped = 0;   ///< of which lost to the dropout simulation
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  double train_seconds = 0.0;      ///< wall time of the parallel client block
+  double aggregate_seconds = 0.0;  ///< server-side aggregation wall time
+};
+
 struct RunResult {
   std::string method_name;
   std::string dataset_name;
   std::vector<TaskResult> tasks;
   NetworkStats network;
   double wall_seconds = 0.0;
+  std::vector<RoundStats> rounds;  ///< one entry per round, curriculum order
 
   /// iCaRL-style Average: mean of the per-step cumulative accuracies.
   double average_accuracy() const;
   /// Final-step cumulative accuracy (the paper's "Last").
   double last_accuracy() const;
+  /// Sums over rounds / tasks (0 when breakdowns are absent).
+  double train_seconds() const;
+  double aggregate_seconds() const;
+  double eval_seconds() const;
 };
 
 class FederatedRunner {

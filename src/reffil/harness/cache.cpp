@@ -45,6 +45,8 @@ std::string cache_key(const std::string& dataset_name,
 }
 
 void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer) {
+  writer.write_u32(kCacheMagic);
+  writer.write_u32(kCacheVersion);
   writer.write_string(result.method_name);
   writer.write_string(result.dataset_name);
   writer.write_u64(result.tasks.size());
@@ -54,14 +56,39 @@ void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer
     writer.write_u64(task.per_domain_accuracy.size());
     for (double a : task.per_domain_accuracy) writer.write_f64(a);
     writer.write_f64(task.cumulative_accuracy);
+    writer.write_f64(task.eval_seconds);
   }
   writer.write_u64(result.network.bytes_down);
   writer.write_u64(result.network.bytes_up);
   writer.write_u64(result.network.messages);
+  // v1 stopped here: dropped_updates was never written, so cache hits
+  // silently zeroed the dropout statistic on the way back out.
+  writer.write_u64(result.network.dropped_updates);
   writer.write_f64(result.wall_seconds);
+  writer.write_u64(result.rounds.size());
+  for (const auto& round : result.rounds) {
+    writer.write_u32(round.task);
+    writer.write_u32(round.round);
+    writer.write_u32(round.selected);
+    writer.write_u32(round.dropped);
+    writer.write_u64(round.bytes_down);
+    writer.write_u64(round.bytes_up);
+    writer.write_f64(round.train_seconds);
+    writer.write_f64(round.aggregate_seconds);
+  }
 }
 
 fed::RunResult deserialize_run_result(util::ByteReader& reader) {
+  const auto magic = reader.read_u32();
+  if (magic != kCacheMagic) {
+    throw SerializationError("not a reffil cache entry (bad magic)");
+  }
+  const auto version = reader.read_u32();
+  if (version != kCacheVersion) {
+    throw SerializationError("unsupported cache format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kCacheVersion) + ")");
+  }
   fed::RunResult result;
   result.method_name = reader.read_string();
   result.dataset_name = reader.read_string();
@@ -79,12 +106,29 @@ fed::RunResult deserialize_run_result(util::ByteReader& reader) {
       task.per_domain_accuracy.push_back(reader.read_f64());
     }
     task.cumulative_accuracy = reader.read_f64();
+    task.eval_seconds = reader.read_f64();
     result.tasks.push_back(std::move(task));
   }
   result.network.bytes_down = reader.read_u64();
   result.network.bytes_up = reader.read_u64();
   result.network.messages = reader.read_u64();
+  result.network.dropped_updates = reader.read_u64();
   result.wall_seconds = reader.read_f64();
+  const auto num_rounds = reader.read_u64();
+  if (num_rounds > 1000000) throw SerializationError("implausible round count");
+  result.rounds.reserve(num_rounds);
+  for (std::uint64_t r = 0; r < num_rounds; ++r) {
+    fed::RoundStats round;
+    round.task = reader.read_u32();
+    round.round = reader.read_u32();
+    round.selected = reader.read_u32();
+    round.dropped = reader.read_u32();
+    round.bytes_down = reader.read_u64();
+    round.bytes_up = reader.read_u64();
+    round.train_seconds = reader.read_f64();
+    round.aggregate_seconds = reader.read_f64();
+    result.rounds.push_back(round);
+  }
   return result;
 }
 
@@ -95,12 +139,24 @@ std::optional<fed::RunResult> cache_load(const std::string& key) {
   if (!in) return std::nullopt;
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
+  in.close();
   try {
     util::ByteReader reader(bytes);
     fed::RunResult result = deserialize_run_result(reader);
+    if (!reader.exhausted()) {
+      // Field sizes of a foreign/old format can happen to line up with ours;
+      // trailing bytes are the tell that this entry is not a clean v-current
+      // encoding, so treat it as corrupt rather than returning garbage.
+      throw SerializationError("trailing bytes after run result");
+    }
     return result;
-  } catch (const Error&) {
-    REFFIL_LOG_WARN << "discarding corrupt cache entry " << path.string();
+  } catch (const Error& e) {
+    // Delete, don't just skip: a corrupt/old-format entry would otherwise be
+    // re-read and re-rejected on every invocation of every bench binary.
+    REFFIL_LOG_WARN << "deleting unreadable cache entry " << path.string()
+                    << " (" << e.what() << ")";
+    std::error_code ec;
+    fs::remove(path, ec);
     return std::nullopt;
   }
 }

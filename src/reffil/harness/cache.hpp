@@ -20,6 +20,17 @@ namespace reffil::harness {
 std::string cache_directory();
 bool cache_enabled();
 
+/// Cache file header: every `.cell` entry starts with kCacheMagic then
+/// kCacheVersion (little-endian u32 each). Foreign files fail the magic;
+/// entries from other format revisions fail the version — both are rejected
+/// (and deleted by cache_load) instead of being decoded field-by-field into
+/// garbage. Bump kCacheVersion whenever the RunResult encoding changes.
+/// History: v1 (headerless) lost network.dropped_updates on every cache hit;
+/// v2 added the header, dropped_updates, per-task eval_seconds and the
+/// per-round stats vector.
+inline constexpr std::uint32_t kCacheMagic = 0x4C464652u;  // "RFFL"
+inline constexpr std::uint32_t kCacheVersion = 2;
+
 /// Stable key for one experiment cell.
 std::string cache_key(const std::string& dataset_name,
                       const std::string& domain_order_tag,

@@ -67,6 +67,31 @@ std::vector<std::vector<double>> CellResult::accuracy_matrix() const {
   return mean;
 }
 
+CommsSummary CellResult::comms() const {
+  REFFIL_CHECK_MSG(!runs.empty(), "empty cell");
+  CommsSummary mean;
+  for (const auto& run : runs) {
+    mean.bytes_down += static_cast<double>(run.network.bytes_down);
+    mean.bytes_up += static_cast<double>(run.network.bytes_up);
+    mean.messages += static_cast<double>(run.network.messages);
+    mean.dropped_updates += static_cast<double>(run.network.dropped_updates);
+    mean.wall_seconds += run.wall_seconds;
+    mean.train_seconds += run.train_seconds();
+    mean.aggregate_seconds += run.aggregate_seconds();
+    mean.eval_seconds += run.eval_seconds();
+  }
+  const auto n = static_cast<double>(runs.size());
+  mean.bytes_down /= n;
+  mean.bytes_up /= n;
+  mean.messages /= n;
+  mean.dropped_updates /= n;
+  mean.wall_seconds /= n;
+  mean.train_seconds /= n;
+  mean.aggregate_seconds /= n;
+  mean.eval_seconds /= n;
+  return mean;
+}
+
 CellResult run_cell(const data::DatasetSpec& spec, const std::string& order_tag,
                     MethodKind kind, const ExperimentConfig& base_config) {
   CellResult cell;
@@ -200,6 +225,25 @@ void print_per_step_table(const data::DatasetSpec& spec,
       std::printf("  %5.2f (    -)", cells[m].avg());
     }
     std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void print_comms_table(const data::DatasetSpec& spec,
+                       const std::vector<CellResult>& cells) {
+  const auto methods = all_method_kinds();
+  std::printf("Communication / timing on %s (mean over %zu seeds)\n",
+              spec.name.c_str(), bench_seeds().size());
+  std::printf("%-18s %10s %10s %8s %8s %8s %8s %8s %8s\n", "Method",
+              "down MiB", "up MiB", "msgs", "dropped", "wall s", "train s",
+              "agg s", "eval s");
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const CommsSummary c = cells[m].comms();
+    std::printf("%-18s %10.2f %10.2f %8.0f %8.0f %8.2f %8.2f %8.2f %8.2f\n",
+                method_display_name(methods[m]).c_str(),
+                c.bytes_down / 1048576.0, c.bytes_up / 1048576.0, c.messages,
+                c.dropped_updates, c.wall_seconds, c.train_seconds,
+                c.aggregate_seconds, c.eval_seconds);
   }
   std::printf("\n");
 }

@@ -14,6 +14,19 @@ namespace reffil::harness {
 /// selects the first n (n >= 1) for quicker runs.
 std::vector<std::uint64_t> bench_seeds();
 
+/// Mean-over-seeds communication / timing profile of one cell, derived from
+/// the per-round breakdowns RunResult carries (see fed::RoundStats).
+struct CommsSummary {
+  double bytes_down = 0.0;
+  double bytes_up = 0.0;
+  double messages = 0.0;
+  double dropped_updates = 0.0;
+  double wall_seconds = 0.0;
+  double train_seconds = 0.0;      ///< sum of round train blocks
+  double aggregate_seconds = 0.0;  ///< sum of round aggregations
+  double eval_seconds = 0.0;       ///< sum of task evaluation sweeps
+};
+
 /// One (dataset, order, method) cell aggregated over seeds.
 struct CellResult {
   std::vector<fed::RunResult> runs;
@@ -24,6 +37,8 @@ struct CellResult {
   std::vector<double> steps() const;
   /// Mean accuracy matrix: matrix[t][d] = accuracy on domain d after task t.
   std::vector<std::vector<double>> accuracy_matrix() const;
+  /// Mean communication/timing profile over the cell's runs.
+  CommsSummary comms() const;
 };
 
 /// Run (through the cache) all seeds of one cell. `order_tag` distinguishes
@@ -69,5 +84,11 @@ void print_summary_table(const std::string& title,
 /// Print the Table 3/4-style per-step detail for one dataset.
 void print_per_step_table(const data::DatasetSpec& spec,
                           const std::vector<CellResult>& cells, bool new_order);
+
+/// Print the per-method communication / timing summary for one dataset
+/// (traffic in MiB, wall-time breakdown into train / aggregate / eval) —
+/// the table the paper's communication-cost comparison is regenerated from.
+void print_comms_table(const data::DatasetSpec& spec,
+                       const std::vector<CellResult>& cells);
 
 }  // namespace reffil::harness

@@ -1,0 +1,311 @@
+#include "reffil/util/obs.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace reffil::obs {
+
+// ---- Gauge -----------------------------------------------------------------
+
+void Gauge::set(double v) {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+namespace {
+
+// CAS-accumulate / CAS-min / CAS-max over doubles stored as u64 bits.
+template <typename Better>
+void atomic_update_double(std::atomic<std::uint64_t>& bits, double v,
+                          const Better& better) {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(observed);
+    const double next = better(current, v);
+    if (next == current) return;
+    if (bits.compare_exchange_weak(observed, std::bit_cast<std::uint64_t>(next),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram()
+    : min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {}
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_update_double(sum_bits_, v,
+                       [](double cur, double x) { return cur + x; });
+  atomic_update_double(min_bits_, v,
+                       [](double cur, double x) { return x < cur ? x : cur; });
+  atomic_update_double(max_bits_, v,
+                       [](double cur, double x) { return x > cur ? x : cur; });
+  int exponent = 0;
+  if (v > 0.0 && std::isfinite(v)) {
+    (void)std::frexp(v, &exponent);
+  }
+  const int bucket =
+      std::min(kBuckets - 1, std::max(0, exponent + kBucketBias));
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  if (s.count != 0) {
+    s.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+    s.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;                            // handles outlive static dtors
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->stats();
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+
+Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+void count(std::string_view name, std::uint64_t n) {
+  if (!metrics_enabled()) return;
+  Registry::instance().counter(name).add(n);
+}
+
+ScopedTimer::ScopedTimer(Histogram* sink)
+    : sink_(sink), armed_(sink != nullptr && metrics_enabled()) {
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+double ScopedTimer::stop() {
+  if (!armed_) return 0.0;
+  armed_ = false;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  sink_->observe(seconds);
+  return seconds;
+}
+
+// ---- trace -----------------------------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_key(std::string& out, std::string_view key) {
+  out += ",\"";
+  append_json_escaped(out, key);
+  out += "\":";
+}
+
+struct TraceSink {
+  std::mutex mutex;
+  std::ofstream stream;  // guarded by mutex
+};
+
+TraceSink& trace_sink() {
+  static TraceSink* sink = new TraceSink();  // never destroyed; see Registry
+  return *sink;
+}
+
+std::atomic<bool> g_trace_enabled{false};
+std::once_flag g_trace_env_once;
+
+void init_trace_from_env() {
+  const char* path = std::getenv("REFFIL_TRACE");
+  if (path == nullptr || path[0] == '\0') return;
+  TraceSink& sink = trace_sink();
+  std::lock_guard lock(sink.mutex);
+  sink.stream.open(path, std::ios::trunc);
+  g_trace_enabled.store(sink.stream.is_open(), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceEvent::TraceEvent(std::string_view type) {
+  body_ = "{\"event\":\"";
+  append_json_escaped(body_, type);
+  body_ += '"';
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::uint64_t v) {
+  append_key(body_, key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::int64_t v) {
+  append_key(body_, key);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, double v) {
+  append_key(body_, key);
+  char buf[32];
+  // %.9g is compact, round-trips floats, and never produces JSON-invalid
+  // inf/nan (clamped below).
+  if (!std::isfinite(v)) v = 0.0;
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  body_ += buf;
+  return *this;
+}
+
+TraceEvent& TraceEvent::field(std::string_view key, std::string_view v) {
+  append_key(body_, key);
+  body_ += '"';
+  append_json_escaped(body_, v);
+  body_ += '"';
+  return *this;
+}
+
+std::string TraceEvent::json() const { return body_ + "}"; }
+
+bool trace_enabled() {
+  std::call_once(g_trace_env_once, init_trace_from_env);
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_path(const std::string& path) {
+  std::call_once(g_trace_env_once, [] {});  // claim env init; explicit wins
+  TraceSink& sink = trace_sink();
+  std::lock_guard lock(sink.mutex);
+  if (sink.stream.is_open()) sink.stream.close();
+  if (path.empty()) {
+    g_trace_enabled.store(false, std::memory_order_relaxed);
+    return;
+  }
+  sink.stream.clear();
+  sink.stream.open(path, std::ios::trunc);
+  g_trace_enabled.store(sink.stream.is_open(), std::memory_order_relaxed);
+}
+
+void trace(const TraceEvent& event) {
+  if (!trace_enabled()) return;
+  TraceSink& sink = trace_sink();
+  std::lock_guard lock(sink.mutex);
+  if (!sink.stream.is_open()) return;
+  sink.stream << event.json() << '\n';
+}
+
+void flush_trace() {
+  if (!trace_enabled()) return;
+  TraceSink& sink = trace_sink();
+  std::lock_guard lock(sink.mutex);
+  if (sink.stream.is_open()) sink.stream.flush();
+}
+
+}  // namespace reffil::obs

@@ -1,0 +1,193 @@
+// Observability: a process-wide metrics registry and a structured trace.
+//
+// Two complementary views of a run feed every perf/communication claim the
+// repo makes:
+//
+//  * Metrics — named counters / gauges / histograms with relaxed-atomic
+//    updates, aggregated in place. Handles returned by the registry are
+//    stable for the process lifetime, so hot paths look a metric up once and
+//    then pay one atomic op per update. `ScopedTimer` records a wall-time
+//    histogram sample on scope exit.
+//  * Trace — a JSONL event stream (one self-describing object per line)
+//    written to the path in the REFFIL_TRACE environment variable (or set
+//    programmatically). The federated runner emits broadcast / client_train /
+//    dropout / aggregate / eval / run_end events; `reffil_report` and the CI
+//    reconciliation check consume them. When no sink is configured,
+//    trace_enabled() is a single relaxed atomic load and no event is built.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reffil::obs {
+
+// ---- metrics ---------------------------------------------------------------
+
+/// Monotonic counter (relaxed atomic adds; exact totals on read).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double value (stored as bit-cast u64 so plain C++20
+/// atomics suffice on every platform).
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Streaming histogram: count / sum / min / max plus log2-bucketed counts
+/// (bucket i counts samples with exponent i - kBucketBias, i.e. a ~[2^-32,
+/// 2^31] dynamic range — plenty for seconds or bytes).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kBucketBias = 32;
+
+  void observe(double v);
+  HistogramStats stats() const;
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< CAS-accumulated double
+  std::atomic<std::uint64_t> min_bits_;     ///< init in ctor
+  std::atomic<std::uint64_t> max_bits_;
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+
+ public:
+  Histogram();
+};
+
+/// Process-wide name -> metric map. Registration takes a mutex; returned
+/// references never move or die, so callers cache them across calls.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every registered metric (tests / bench isolation).
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Global metrics switch. Default on (updates are a relaxed atomic op); the
+/// helpers below and ScopedTimer become no-ops — including the clock reads —
+/// when disabled.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Convenience shorthands over Registry::instance().
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+void count(std::string_view name, std::uint64_t n = 1);
+
+/// Records elapsed wall seconds into a histogram when the scope closes (or
+/// at the explicit stop()). A null histogram or disabled metrics makes the
+/// timer free: no clock read, no record.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink);
+  explicit ScopedTimer(std::string_view name) : ScopedTimer(&histogram(name)) {}
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record once and return elapsed seconds (0 when disarmed).
+  double stop();
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+  bool armed_;
+};
+
+// ---- trace -----------------------------------------------------------------
+
+/// One JSONL trace line under construction. Fields render in insertion
+/// order; string values are JSON-escaped. The first field is always
+/// "event": <type>.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view type);
+
+  TraceEvent& field(std::string_view key, std::uint64_t v);
+  TraceEvent& field(std::string_view key, std::int64_t v);
+  TraceEvent& field(std::string_view key, std::uint32_t v) {
+    return field(key, static_cast<std::uint64_t>(v));
+  }
+  TraceEvent& field(std::string_view key, int v) {
+    return field(key, static_cast<std::int64_t>(v));
+  }
+  TraceEvent& field(std::string_view key, double v);
+  TraceEvent& field(std::string_view key, std::string_view v);
+  TraceEvent& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+
+  /// The finished JSON object (idempotent).
+  std::string json() const;
+
+ private:
+  std::string body_;  ///< "{...fields" without the closing brace
+};
+
+/// True when a trace sink is open. First call initialises the sink from the
+/// REFFIL_TRACE environment variable; afterwards this is one relaxed load.
+bool trace_enabled();
+
+/// Point the trace at `path` (append is false: truncates). An empty path
+/// closes the sink and disables tracing. Overrides REFFIL_TRACE.
+void set_trace_path(const std::string& path);
+
+/// Append one event line (thread-safe; no-op when tracing is disabled).
+void trace(const TraceEvent& event);
+
+/// Flush buffered trace output to disk.
+void flush_trace();
+
+}  // namespace reffil::obs

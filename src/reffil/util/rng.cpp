@@ -55,8 +55,20 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   REFFIL_CHECK(lo <= hi);
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(uniform_index(span));
+  // The span must be computed in unsigned arithmetic: `hi - lo` as int64 is
+  // UB for wide ranges (e.g. lo = INT64_MIN, hi > 0). Unsigned subtraction
+  // wraps to the correct distance for every lo <= hi.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == ~std::uint64_t{0}) {
+    // Full 64-bit range: span + 1 would wrap to 0; every u64 is valid.
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Offset lo in unsigned space too — adding to a negative int64 near the
+  // type's edges would overflow; two's-complement wraparound is well defined
+  // on uint64 and lands on the intended value.
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_index(span + 1));
 }
 
 double Rng::normal() {

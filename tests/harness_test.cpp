@@ -81,22 +81,57 @@ fed::RunResult sample_result() {
       task.per_domain_accuracy.push_back(90.0 - 10.0 * static_cast<double>(d));
     }
     task.cumulative_accuracy = 80.0 + static_cast<double>(t);
+    task.eval_seconds = 0.25 + static_cast<double>(t);
     result.tasks.push_back(std::move(task));
   }
   result.network.bytes_down = 1000;
   result.network.bytes_up = 900;
   result.network.messages = 42;
+  result.network.dropped_updates = 5;
   result.wall_seconds = 1.5;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    fed::RoundStats round;
+    round.task = r;
+    round.round = r;
+    round.selected = 10 + r;
+    round.dropped = r;
+    round.bytes_down = 300 + r;
+    round.bytes_up = 280 + r;
+    round.train_seconds = 0.5 + r;
+    round.aggregate_seconds = 0.01 * (r + 1);
+    result.rounds.push_back(round);
+  }
   return result;
+}
+
+// The v1 (headerless) cache encoding, reproduced byte for byte: no magic,
+// no version, no eval_seconds, no dropped_updates, no per-round stats.
+void legacy_v1_serialize(const fed::RunResult& result,
+                         util::ByteWriter& writer) {
+  writer.write_string(result.method_name);
+  writer.write_string(result.dataset_name);
+  writer.write_u64(result.tasks.size());
+  for (const auto& task : result.tasks) {
+    writer.write_u64(task.task);
+    writer.write_string(task.domain_name);
+    writer.write_u64(task.per_domain_accuracy.size());
+    for (double a : task.per_domain_accuracy) writer.write_f64(a);
+    writer.write_f64(task.cumulative_accuracy);
+  }
+  writer.write_u64(result.network.bytes_down);
+  writer.write_u64(result.network.bytes_up);
+  writer.write_u64(result.network.messages);
+  writer.write_f64(result.wall_seconds);
 }
 }  // namespace
 
-TEST(RunResultSerialization, RoundTrip) {
+TEST(RunResultSerialization, RoundTripPreservesEveryField) {
   const fed::RunResult original = sample_result();
   util::ByteWriter writer;
   harness::serialize_run_result(original, writer);
   util::ByteReader reader(writer.bytes());
   const fed::RunResult back = harness::deserialize_run_result(reader);
+  EXPECT_TRUE(reader.exhausted());
   EXPECT_EQ(back.method_name, original.method_name);
   EXPECT_EQ(back.dataset_name, original.dataset_name);
   ASSERT_EQ(back.tasks.size(), original.tasks.size());
@@ -106,9 +141,53 @@ TEST(RunResultSerialization, RoundTrip) {
               original.tasks[t].per_domain_accuracy);
     EXPECT_DOUBLE_EQ(back.tasks[t].cumulative_accuracy,
                      original.tasks[t].cumulative_accuracy);
+    EXPECT_DOUBLE_EQ(back.tasks[t].eval_seconds,
+                     original.tasks[t].eval_seconds);
   }
   EXPECT_EQ(back.network.bytes_down, original.network.bytes_down);
+  EXPECT_EQ(back.network.bytes_up, original.network.bytes_up);
+  EXPECT_EQ(back.network.messages, original.network.messages);
+  EXPECT_EQ(back.network.dropped_updates, original.network.dropped_updates);
   EXPECT_DOUBLE_EQ(back.wall_seconds, original.wall_seconds);
+  ASSERT_EQ(back.rounds.size(), original.rounds.size());
+  for (std::size_t r = 0; r < back.rounds.size(); ++r) {
+    EXPECT_EQ(back.rounds[r].task, original.rounds[r].task);
+    EXPECT_EQ(back.rounds[r].selected, original.rounds[r].selected);
+    EXPECT_EQ(back.rounds[r].dropped, original.rounds[r].dropped);
+    EXPECT_EQ(back.rounds[r].bytes_down, original.rounds[r].bytes_down);
+    EXPECT_EQ(back.rounds[r].bytes_up, original.rounds[r].bytes_up);
+    EXPECT_DOUBLE_EQ(back.rounds[r].train_seconds,
+                     original.rounds[r].train_seconds);
+    EXPECT_DOUBLE_EQ(back.rounds[r].aggregate_seconds,
+                     original.rounds[r].aggregate_seconds);
+  }
+}
+
+TEST(RunResultSerialization, LegacyV1FormatLosesDropoutsAndIsRejected) {
+  // Regression for the original bug: the v1 encoding simply has no
+  // dropped_updates field, so a cache hit silently zeroed the dropout count.
+  const fed::RunResult original = sample_result();
+  ASSERT_EQ(original.network.dropped_updates, 5u);
+  util::ByteWriter legacy;
+  legacy_v1_serialize(original, legacy);
+  // Nothing in the v1 byte stream encodes the value 5 — the statistic is
+  // unrecoverable from a v1 entry, which is why the format had to change.
+  util::ByteWriter current;
+  harness::serialize_run_result(original, current);
+  EXPECT_GT(current.size(), legacy.size());
+  // The versioned loader refuses the headerless bytes instead of decoding
+  // them field-by-field into a half-right RunResult.
+  util::ByteReader reader(legacy.bytes());
+  EXPECT_THROW(harness::deserialize_run_result(reader), SerializationError);
+}
+
+TEST(RunResultSerialization, WrongVersionIsRejected) {
+  util::ByteWriter writer;
+  writer.write_u32(harness::kCacheMagic);
+  writer.write_u32(harness::kCacheVersion + 1);
+  writer.write_string("RefFiL");
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(harness::deserialize_run_result(reader), SerializationError);
 }
 
 TEST(Cache, StoreThenLoad) {
@@ -122,6 +201,10 @@ TEST(Cache, StoreThenLoad) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->method_name, "RefFiL");
   EXPECT_NEAR(loaded->average_accuracy(), 81.0, 1e-9);
+  // The cache-hit path keeps the dropout count and the round breakdowns —
+  // the original bug returned dropped_updates == 0 from every hit.
+  EXPECT_EQ(loaded->network.dropped_updates, 5u);
+  EXPECT_EQ(loaded->rounds.size(), 3u);
   unsetenv("REFFIL_CACHE_DIR");
 }
 
@@ -145,7 +228,7 @@ TEST(Cache, OffDisablesEverything) {
   unsetenv("REFFIL_CACHE_DIR");
 }
 
-TEST(Cache, CorruptEntryIsDiscarded) {
+TEST(Cache, CorruptEntryIsDeletedNotJustSkipped) {
   setenv("REFFIL_CACHE_DIR", "/tmp/reffil_test_cache2", 1);
   std::filesystem::create_directories("/tmp/reffil_test_cache2");
   const std::string key = "corrupt.cell";
@@ -154,6 +237,47 @@ TEST(Cache, CorruptEntryIsDiscarded) {
     out << "garbage";
   }
   EXPECT_FALSE(harness::cache_load(key).has_value());
+  // Deleted on first rejection, so it is not re-parsed every invocation.
+  EXPECT_FALSE(std::filesystem::exists("/tmp/reffil_test_cache2/corrupt.cell"));
+  unsetenv("REFFIL_CACHE_DIR");
+}
+
+TEST(Cache, LegacyFormatEntryIsRejectedAndDeleted) {
+  setenv("REFFIL_CACHE_DIR", "/tmp/reffil_test_cache3", 1);
+  std::filesystem::remove_all("/tmp/reffil_test_cache3");
+  std::filesystem::create_directories("/tmp/reffil_test_cache3");
+  util::ByteWriter writer;
+  legacy_v1_serialize(sample_result(), writer);
+  {
+    std::ofstream out("/tmp/reffil_test_cache3/old.cell", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+              static_cast<std::streamsize>(writer.bytes().size()));
+  }
+  EXPECT_FALSE(harness::cache_load("old.cell").has_value());
+  EXPECT_FALSE(std::filesystem::exists("/tmp/reffil_test_cache3/old.cell"));
+  unsetenv("REFFIL_CACHE_DIR");
+}
+
+TEST(Cache, TrailingBytesAreRejected) {
+  // A format mismatch can deserialize "successfully" if field sizes happen
+  // to align — leftover bytes are the signal that it did not consume the
+  // entry cleanly, so the loader must reject (and delete) such files.
+  setenv("REFFIL_CACHE_DIR", "/tmp/reffil_test_cache4", 1);
+  std::filesystem::remove_all("/tmp/reffil_test_cache4");
+  std::filesystem::create_directories("/tmp/reffil_test_cache4");
+  util::ByteWriter writer;
+  harness::serialize_run_result(sample_result(), writer);
+  auto bytes = writer.take();
+  bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  {
+    std::ofstream out("/tmp/reffil_test_cache4/trailing.cell",
+                      std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(harness::cache_load("trailing.cell").has_value());
+  EXPECT_FALSE(
+      std::filesystem::exists("/tmp/reffil_test_cache4/trailing.cell"));
   unsetenv("REFFIL_CACHE_DIR");
 }
 

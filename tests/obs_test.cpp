@@ -1,0 +1,250 @@
+// Observability smoke tests: metric registry semantics, concurrent counter
+// exactness (the TSan job exercises this file like every other test), the
+// scoped timer, and the JSONL trace — including the invariant the CI check
+// relies on: per-event byte totals reconcile exactly with RunResult::network.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reffil/fed/runtime.hpp"
+#include "reffil/harness/experiment.hpp"
+#include "reffil/util/obs.hpp"
+#include "reffil/util/thread_pool.hpp"
+
+using namespace reffil;
+
+TEST(ObsMetrics, CounterHandlesAreStableAndNamed) {
+  obs::Counter& a = obs::counter("test.counter_a");
+  a.reset();
+  a.add();
+  a.add(4);
+  EXPECT_EQ(obs::counter("test.counter_a").value(), 5u);
+  EXPECT_EQ(&a, &obs::counter("test.counter_a"));
+  EXPECT_EQ(obs::counter("test.counter_b").value(), 0u);
+}
+
+TEST(ObsMetrics, ConcurrentCountsAreExact) {
+  obs::Counter& c = obs::counter("test.concurrent");
+  c.reset();
+  constexpr std::size_t kThreads = 8, kPerThread = 10000;
+  util::global_thread_pool().parallel_for(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+  });
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeLastWriteWins) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(ObsMetrics, HistogramTracksMoments) {
+  obs::Histogram& h = obs::histogram("test.hist");
+  h.reset();
+  EXPECT_EQ(h.stats().count, 0u);
+  for (double v : {1.0, 2.0, 4.0, 0.5}) h.observe(v);
+  const auto stats = h.stats();
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_DOUBLE_EQ(stats.sum, 7.5);
+  EXPECT_DOUBLE_EQ(stats.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.5 / 4.0);
+}
+
+TEST(ObsMetrics, ConcurrentHistogramSumIsExact) {
+  // Powers of two accumulate exactly in doubles, so the CAS-add loop must
+  // produce the precise total regardless of interleaving.
+  obs::Histogram& h = obs::histogram("test.hist_concurrent");
+  h.reset();
+  constexpr std::size_t kThreads = 8, kPerThread = 2000;
+  util::global_thread_pool().parallel_for(kThreads, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) h.observe(0.25);
+  });
+  const auto stats = h.stats();
+  EXPECT_EQ(stats.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(stats.sum, 0.25 * static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsElapsed) {
+  obs::Histogram& h = obs::histogram("test.timer");
+  h.reset();
+  {
+    obs::ScopedTimer timer(&h);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  ASSERT_EQ(h.stats().count, 1u);
+  EXPECT_GE(h.stats().min, 0.0);
+}
+
+TEST(ObsMetrics, DisabledMetricsSkipHelpers) {
+  obs::Counter& c = obs::counter("test.disabled");
+  c.reset();
+  obs::set_metrics_enabled(false);
+  obs::count("test.disabled", 10);
+  {
+    obs::ScopedTimer timer("test.disabled_timer");
+    EXPECT_DOUBLE_EQ(timer.stop(), 0.0);
+  }
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  obs::count("test.disabled", 3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(ObsMetrics, SnapshotContainsRegisteredNames) {
+  obs::counter("test.snap_counter").add(2);
+  obs::gauge("test.snap_gauge").set(1.25);
+  obs::histogram("test.snap_hist").observe(1.0);
+  const auto snap = obs::Registry::instance().snapshot();
+  EXPECT_GE(snap.counters.at("test.snap_counter"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap_gauge"), 1.25);
+  EXPECT_GE(snap.histograms.at("test.snap_hist").count, 1u);
+}
+
+TEST(ObsTrace, EventRendersOrderedEscapedJson) {
+  const std::string json = obs::TraceEvent("demo")
+                               .field("n", std::uint64_t{7})
+                               .field("neg", std::int64_t{-3})
+                               .field("x", 1.5)
+                               .field("s", "a\"b\\c\nd")
+                               .json();
+  EXPECT_EQ(json,
+            "{\"event\":\"demo\",\"n\":7,\"neg\":-3,\"x\":1.5,"
+            "\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+namespace {
+
+data::DatasetSpec tiny_spec() {
+  data::DatasetSpec spec;
+  spec.name = "ObsTiny";
+  spec.num_classes = 3;
+  spec.seed = 70;
+  for (const char* name : {"A", "B"}) {
+    data::DomainSpec d;
+    d.train_samples = 36;
+    d.test_samples = 15;
+    d.noise = 0.1f;
+    d.name = name;
+    spec.domains.push_back(d);
+  }
+  spec.initial_clients = 4;
+  spec.clients_per_round = 3;
+  spec.client_increment = 0;
+  spec.rounds_per_task = 2;
+  spec.local_epochs = 1;
+  spec.learning_rate = 0.03f;
+  return spec;
+}
+
+/// Minimal JSONL field scraping (the repo has no JSON parser): returns the
+/// numeric value after "key": in `line`, or nullopt.
+std::optional<double> json_number(const std::string& line,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+bool is_event(const std::string& line, const std::string& type) {
+  return line.find("\"event\":\"" + type + "\"") != std::string::npos;
+}
+
+}  // namespace
+
+TEST(ObsTrace, RunTraceReconcilesWithRunResult) {
+  const std::string path = "/tmp/reffil_obs_trace_test.jsonl";
+  std::filesystem::remove(path);
+  obs::set_trace_path(path);
+
+  const auto spec = tiny_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 2;
+  auto method = harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  fed::FederatedRunner runner({.spec = spec,
+                               .parallelism = 2,
+                               .seed = 9,
+                               .dropout_probability = 0.3});
+  const fed::RunResult result = runner.run(*method);
+  obs::set_trace_path("");  // close the sink so the file is complete
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_FALSE(lines.empty());
+
+  // Every line is one JSON object with an event type.
+  std::uint64_t bytes_down = 0, bytes_up = 0, dropped = 0;
+  std::size_t evals = 0, run_ends = 0;
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"event\":\""), std::string::npos) << line;
+    if (is_event(line, "broadcast")) {
+      const auto v = json_number(line, "bytes_down");
+      ASSERT_TRUE(v.has_value()) << line;
+      bytes_down += static_cast<std::uint64_t>(*v);
+    } else if (is_event(line, "client_train")) {
+      const auto v = json_number(line, "bytes_up");
+      ASSERT_TRUE(v.has_value()) << line;
+      bytes_up += static_cast<std::uint64_t>(*v);
+      EXPECT_GE(*json_number(line, "wall_s"), 0.0) << line;
+      EXPECT_NE(line.find("\"group\":\""), std::string::npos) << line;
+    } else if (is_event(line, "dropout")) {
+      ++dropped;
+    } else if (is_event(line, "eval")) {
+      ++evals;
+      EXPECT_GE(*json_number(line, "accuracy"), 0.0) << line;
+    } else if (is_event(line, "run_end")) {
+      ++run_ends;
+      EXPECT_EQ(static_cast<std::uint64_t>(*json_number(line, "bytes_down")),
+                result.network.bytes_down);
+      EXPECT_EQ(static_cast<std::uint64_t>(*json_number(line, "bytes_up")),
+                result.network.bytes_up);
+      EXPECT_EQ(static_cast<std::uint64_t>(
+                    *json_number(line, "dropped_updates")),
+                result.network.dropped_updates);
+    }
+  }
+  // Per-event sums reconcile exactly with the aggregate network stats.
+  EXPECT_EQ(bytes_down, result.network.bytes_down);
+  EXPECT_EQ(bytes_up, result.network.bytes_up);
+  EXPECT_EQ(dropped, result.network.dropped_updates);
+  EXPECT_EQ(evals, 1u + 2u);  // task 0 evaluates 1 domain, task 1 evaluates 2
+  EXPECT_EQ(run_ends, 1u);
+
+  // The RoundStats breakdown carried by the result agrees with both.
+  std::uint64_t round_down = 0, round_up = 0, round_dropped = 0;
+  for (const auto& r : result.rounds) {
+    round_down += r.bytes_down;
+    round_up += r.bytes_up;
+    round_dropped += r.dropped;
+  }
+  EXPECT_EQ(result.rounds.size(),
+            spec.domains.size() * spec.rounds_per_task);
+  EXPECT_EQ(round_down, result.network.bytes_down);
+  EXPECT_EQ(round_up, result.network.bytes_up);
+  EXPECT_EQ(round_dropped, result.network.dropped_updates);
+
+  std::filesystem::remove(path);
+}
+
+TEST(ObsTrace, DisabledTraceWritesNothing) {
+  obs::set_trace_path("");
+  EXPECT_FALSE(obs::trace_enabled());
+  obs::trace(obs::TraceEvent("ignored"));  // must be a no-op, not a crash
+  obs::flush_trace();
+}

@@ -38,7 +38,15 @@ std::vector<std::uint8_t> valid_run_result_bytes() {
   task.domain_name = "Photo";
   task.per_domain_accuracy = {88.0};
   task.cumulative_accuracy = 88.0;
+  task.eval_seconds = 0.5;
   result.tasks.push_back(task);
+  result.network.dropped_updates = 3;
+  fed::RoundStats round;
+  round.selected = 8;
+  round.dropped = 3;
+  round.bytes_down = 100;
+  round.bytes_up = 60;
+  result.rounds.push_back(round);
   util::ByteWriter writer;
   harness::serialize_run_result(result, writer);
   return writer.take();
@@ -146,6 +154,49 @@ TEST(SerializationFuzz, WrappingVectorLengthIsRejected) {
     util::ByteReader reader(bytes);
     EXPECT_THROW(reader.read_pod_vector<float>(), SerializationError) << length;
   }
+}
+
+// The cache format is versioned: a wrong magic (foreign file) or a wrong
+// version (old/newer encoding) must be a typed rejection, never a
+// field-by-field decode into garbage.
+TEST(SerializationFuzz, RunResultHeaderIsEnforced) {
+  auto base = valid_run_result_bytes();
+  // Corrupt each magic byte in turn.
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto bad = base;
+    bad[i] ^= 0xFF;
+    util::ByteReader reader(bad);
+    EXPECT_THROW(harness::deserialize_run_result(reader), SerializationError);
+  }
+  // Bump the version field (bytes 4..8).
+  auto wrong_version = base;
+  wrong_version[4] ^= 0x01;
+  util::ByteReader reader(wrong_version);
+  EXPECT_THROW(harness::deserialize_run_result(reader), SerializationError);
+  // Header-only prefixes are truncation, not success.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                          std::size_t{7}, std::size_t{8}}) {
+    std::vector<std::uint8_t> prefix(base.begin(),
+                                     base.begin() + static_cast<std::ptrdiff_t>(cut));
+    util::ByteReader prefix_reader(prefix);
+    EXPECT_THROW(harness::deserialize_run_result(prefix_reader),
+                 SerializationError);
+  }
+}
+
+TEST(SerializationFuzz, RunResultTrailingGarbageDetectable) {
+  // deserialize_run_result parses a clean prefix; the cache layer relies on
+  // reader.exhausted() to spot leftovers. Verify the contract both ways.
+  auto bytes = valid_run_result_bytes();
+  {
+    util::ByteReader reader(bytes);
+    (void)harness::deserialize_run_result(reader);
+    EXPECT_TRUE(reader.exhausted());
+  }
+  bytes.push_back(0x00);
+  util::ByteReader reader(bytes);
+  (void)harness::deserialize_run_result(reader);
+  EXPECT_FALSE(reader.exhausted());
 }
 
 TEST(SerializationFuzz, RandomGarbageIsRejectedOrParsed) {

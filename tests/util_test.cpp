@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "reffil/util/byte_buffer.hpp"
@@ -51,6 +52,35 @@ TEST(Rng, UniformIntInclusiveBounds) {
   EXPECT_EQ(seen.size(), 5u);
   EXPECT_EQ(*seen.begin(), -2);
   EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, UniformIntWideRangesHaveNoSignedOverflow) {
+  // Regression: `hi - lo` was computed in int64, which is UB whenever the
+  // span exceeds INT64_MAX (e.g. lo = INT64_MIN, hi >= 0) and wrapped the
+  // +1 to a uniform_index(0) crash for the full 64-bit range. The span is
+  // now computed in unsigned arithmetic; these draws must stay in bounds
+  // (the UBSan CI job turns any leftover overflow into a hard failure).
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    (void)rng.uniform_int(kMin, kMax);  // full range: every value valid
+    EXPECT_LE(rng.uniform_int(kMin, 0), 0);
+    EXPECT_GE(rng.uniform_int(-1, kMax), -1);
+    const std::int64_t edge = rng.uniform_int(kMin, kMin + 1);
+    EXPECT_TRUE(edge == kMin || edge == kMin + 1);
+    EXPECT_EQ(rng.uniform_int(kMax, kMax), kMax);
+    EXPECT_EQ(rng.uniform_int(kMin, kMin), kMin);
+  }
+  // Narrow ranges keep drawing from the same stream as before the fix.
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t lo = -5, hi = 9;
+    const std::int64_t v = a.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    EXPECT_EQ(v, b.uniform_int(lo, hi));
+  }
 }
 
 TEST(Rng, NormalMoments) {

@@ -98,6 +98,37 @@ void per_step_tables(bool new_order) {
   }
 }
 
+void comms_tables() {
+  // Regenerated from the same cached runs as the accuracy tables: the
+  // versioned cache entries carry per-round timing/traffic breakdowns, so a
+  // traced bench population yields both views of each run (cf. the paper's
+  // communication-cost comparison).
+  std::printf("### Timing / communication summary (original domain order)\n\n");
+  for (const auto& spec : data::all_dataset_specs()) {
+    std::printf("**%s** (mean over seeds; MiB of metered payload bytes)\n\n",
+                spec.name.c_str());
+    std::printf("| Method | down MiB | up MiB | messages | dropped | wall s | "
+                "train s | aggregate s | eval s |\n");
+    std::printf("|---|---|---|---|---|---|---|---|---|\n");
+    for (const auto kind : harness::all_method_kinds()) {
+      const auto name = harness::method_display_name(kind);
+      const auto cell = load_cell(spec, "orig", name);
+      if (!cell) {
+        std::printf("| %s | (pending) | | | | | | | |\n", name.c_str());
+        continue;
+      }
+      const harness::CommsSummary c = cell->comms();
+      std::printf("| %s | %.2f | %.2f | %.0f | %.0f | %.2f | %.2f | %.2f | "
+                  "%.2f |\n",
+                  name.c_str(), c.bytes_down / 1048576.0,
+                  c.bytes_up / 1048576.0, c.messages, c.dropped_updates,
+                  c.wall_seconds, c.train_seconds, c.aggregate_seconds,
+                  c.eval_seconds);
+    }
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -107,5 +138,6 @@ int main() {
   summary_tables(true);
   per_step_tables(false);
   per_step_tables(true);
+  comms_tables();
   return 0;
 }

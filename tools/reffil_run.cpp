@@ -62,12 +62,15 @@ void print_json(const fed::RunResult& result) {
     }
     std::printf("]}");
   }
-  std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"dropped\":%llu,"
-              "\"wall_seconds\":%.3f}\n",
+  std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
+              "\"dropped\":%llu,\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
+              "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f}\n",
               static_cast<unsigned long long>(result.network.bytes_down),
               static_cast<unsigned long long>(result.network.bytes_up),
+              static_cast<unsigned long long>(result.network.messages),
               static_cast<unsigned long long>(result.network.dropped_updates),
-              result.wall_seconds);
+              result.wall_seconds, result.train_seconds(),
+              result.aggregate_seconds(), result.eval_seconds());
 }
 
 }  // namespace
@@ -186,11 +189,12 @@ int main(int argc, char** argv) {
                      " dropped updates)";
     }
     std::printf("Avg %.2f%%  Last %.2f%%  traffic %.1f MiB down / %.1f MiB up"
-                "%s  wall %.1fs\n",
+                "%s  wall %.1fs (train %.1fs, aggregate %.1fs, eval %.1fs)\n",
                 result.average_accuracy(), result.last_accuracy(),
                 result.network.bytes_down / 1048576.0,
                 result.network.bytes_up / 1048576.0, dropped_note.c_str(),
-                result.wall_seconds);
+                result.wall_seconds, result.train_seconds(),
+                result.aggregate_seconds(), result.eval_seconds());
   }
   return 0;
 }
