@@ -11,6 +11,7 @@
 #include "reffil/fed/fedavg.hpp"
 #include "reffil/metrics/tsne.hpp"
 #include "reffil/nn/backbone.hpp"
+#include "reffil/nn/optimizer.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/parallel.hpp"
 #include "reffil/util/thread_pool.hpp"
@@ -49,6 +50,34 @@ static void BM_TensorMatmulSerial(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
 }
 BENCHMARK(BM_TensorMatmulSerial)->Arg(128)->Arg(256)->Arg(384);
+
+// Fused a·bᵀ — the backward-pass workhorse (dA of every matmul/linear) and
+// the attention q·kᵀ score kernel. Compare against BM_TensorMatmul at the
+// same size: the delta is what eliminating the materialized transpose buys.
+static void BM_MatmulNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const T::Tensor a = T::randn({n, n}, rng);
+  const T::Tensor b = T::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(128)->Arg(256);
+
+// Fused aᵀ·b — dB of every matmul/linear, dcol of conv2d.
+static void BM_MatmulTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const T::Tensor a = T::randn({n, n}, rng);
+  const T::Tensor b = T::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::matmul_tn(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatmulTN)->Arg(64)->Arg(128)->Arg(256);
 
 // The deadlock-free composition the reentrant pool enables: parallel tensor
 // kernels issued from inside a pool task (as every federated client does).
@@ -107,6 +136,39 @@ static void BM_PromptNetTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PromptNetTrainStep);
+
+// One client local-training step at batch granularity, exactly as
+// MethodBase::train_client runs it: zero grads, per-sample CE summed over the
+// batch, backward through the prompt net, SGD step. This is the unit the
+// kernel/pool layer is tuned for — BENCH_kernels.json tracks it before/after.
+static void BM_TrainStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  std::vector<T::Tensor> images;
+  std::vector<std::size_t> labels;
+  for (std::size_t i = 0; i < batch; ++i) {
+    images.push_back(T::randn({1, 16, 16}, rng));
+    labels.push_back(i % config.num_classes);
+  }
+  reffil::nn::SgdOptimizer optimizer(net.parameters(),
+                                     {.learning_rate = 0.01f, .momentum = 0.9f});
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    AG::Var total;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto out = net.forward(images[i]);
+      const AG::Var ce = AG::cross_entropy_logits(out.logits, {labels[i]});
+      total = (i == 0) ? ce : AG::add(total, ce);
+    }
+    AG::backward(AG::mul_scalar(total, 1.0f / static_cast<float>(batch)));
+    optimizer.step();
+    benchmark::DoNotOptimize(net.parameters().front()->grad());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_TrainStep)->Arg(4)->Arg(8);
 
 static void BM_CdapGenerate(benchmark::State& state) {
   Rng rng(5);

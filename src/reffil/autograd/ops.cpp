@@ -1,9 +1,17 @@
+// Backward passes follow two conventions established by the kernel/memory
+// PR: (1) gradients that are matrix products of a transposed operand use the
+// fused matmul_nt/matmul_tn kernels, so no transposed temporary is ever
+// materialized on the tape; (2) intermediate gradient tensors that die
+// inside the closure are borrowed from the thread-local scratch pool
+// (tensor/pool.hpp) instead of allocated, and hot loops walk raw pointers
+// rather than the bounds-checked Tensor::at().
 #include "reffil/autograd/ops.hpp"
 
 #include <algorithm>
 #include <cmath>
 
 #include "reffil/tensor/ops.hpp"
+#include "reffil/tensor/pool.hpp"
 #include "reffil/util/error.hpp"
 
 namespace reffil::autograd {
@@ -61,35 +69,42 @@ Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
 
 Var relu(const Var& a) {
   return make_node(T::relu(a->value()), {a}, [a](const T::Tensor& g) {
-    T::Tensor dx = g;
+    T::pool::Scratch dx(g.shape(), /*zero=*/false);
     const float* x = a->value().begin();
-    float* d = dx.begin();
-    for (std::size_t i = 0; i < dx.numel(); ++i) {
-      if (x[i] <= 0.0f) d[i] = 0.0f;
+    const float* pg = g.begin();
+    float* d = dx->begin();
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      d[i] = x[i] <= 0.0f ? 0.0f : pg[i];
     }
-    a->accumulate_grad(dx);
+    a->accumulate_grad(*dx);
   });
 }
 
 Var tanh(const Var& a) {
   T::Tensor y = T::tanh(a->value());
   return make_node(y, {a}, [a, y](const T::Tensor& g) {
-    T::Tensor dx = g;
+    T::pool::Scratch dx(g.shape(), /*zero=*/false);
     const float* py = y.begin();
-    float* d = dx.begin();
-    for (std::size_t i = 0; i < dx.numel(); ++i) d[i] *= 1.0f - py[i] * py[i];
-    a->accumulate_grad(dx);
+    const float* pg = g.begin();
+    float* d = dx->begin();
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      d[i] = pg[i] * (1.0f - py[i] * py[i]);
+    }
+    a->accumulate_grad(*dx);
   });
 }
 
 Var sigmoid(const Var& a) {
   T::Tensor y = T::sigmoid(a->value());
   return make_node(y, {a}, [a, y](const T::Tensor& g) {
-    T::Tensor dx = g;
+    T::pool::Scratch dx(g.shape(), /*zero=*/false);
     const float* py = y.begin();
-    float* d = dx.begin();
-    for (std::size_t i = 0; i < dx.numel(); ++i) d[i] *= py[i] * (1.0f - py[i]);
-    a->accumulate_grad(dx);
+    const float* pg = g.begin();
+    float* d = dx->begin();
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      d[i] = pg[i] * (py[i] * (1.0f - py[i]));
+    }
+    a->accumulate_grad(*dx);
   });
 }
 
@@ -109,12 +124,34 @@ Var log(const Var& a) {
 Var matmul(const Var& a, const Var& b) {
   T::Tensor value = T::matmul(a->value(), b->value());
   return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    // dA = g @ B^T ; dB = A^T @ g
+    // dA = g·Bᵀ, dB = Aᵀ·g — fused kernels read the transposed operand in
+    // place; the products land in pooled scratch that dies with the closure.
     if (a->requires_grad()) {
-      a->accumulate_grad(T::matmul(g, T::transpose2d(b->value())));
+      T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+      T::matmul_nt_into(g, b->value(), *da);
+      a->accumulate_grad(*da);
     }
     if (b->requires_grad()) {
-      b->accumulate_grad(T::matmul(T::transpose2d(a->value()), g));
+      T::pool::Scratch db(b->value().shape(), /*zero=*/false);
+      T::matmul_tn_into(a->value(), g, *db);
+      b->accumulate_grad(*db);
+    }
+  });
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  T::Tensor value = T::matmul_nt(a->value(), b->value());
+  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
+    // C = A·Bᵀ, so dA = g·B and dB = gᵀ·A — again no transposed copies.
+    if (a->requires_grad()) {
+      T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+      T::matmul_into(g, b->value(), *da);
+      a->accumulate_grad(*da);
+    }
+    if (b->requires_grad()) {
+      T::pool::Scratch db(b->value().shape(), /*zero=*/false);
+      T::matmul_tn_into(g, a->value(), *db);
+      b->accumulate_grad(*db);
     }
   });
 }
@@ -134,8 +171,11 @@ Var add_rowvec(const Var& x, const Var& b) {
   }
   const std::size_t m = x->value().dim(0), n = x->value().dim(1);
   T::Tensor value = x->value();
+  const float* pb = b->value().begin();
+  float* pv = value.begin();
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) value.at(i * n + j) += b->value().at(j);
+    float* row = pv + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
   }
   return make_node(std::move(value), {x, b}, [x, b](const T::Tensor& g) {
     if (x->requires_grad()) x->accumulate_grad(g);
@@ -157,49 +197,59 @@ Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
   check_vec(lambda, "lambda");
 
   T::Tensor value({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float ai = alpha->value().at(i);
-    const float li = lambda->value().at(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      value.at(i * n + j) = ai * (x->value().at(i * n + j) + li);
+  {
+    const float* px = x->value().begin();
+    const float* pa = alpha->value().begin();
+    const float* pl = lambda->value().begin();
+    float* pv = value.begin();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float ai = pa[i];
+      const float li = pl[i];
+      for (std::size_t j = 0; j < n; ++j) pv[i * n + j] = ai * (px[i * n + j] + li);
     }
   }
   return make_node(std::move(value), {x, alpha, lambda},
                    [x, alpha, lambda, m, n](const T::Tensor& g) {
+                     const float* pg = g.begin();
+                     const float* pa = alpha->value().begin();
                      if (x->requires_grad()) {
-                       T::Tensor dx({m, n});
+                       T::pool::Scratch dx({m, n}, /*zero=*/false);
+                       float* d = dx->begin();
                        for (std::size_t i = 0; i < m; ++i) {
-                         const float ai = alpha->value().at(i);
+                         const float ai = pa[i];
                          for (std::size_t j = 0; j < n; ++j) {
-                           dx.at(i * n + j) = g.at(i * n + j) * ai;
+                           d[i * n + j] = pg[i * n + j] * ai;
                          }
                        }
-                       x->accumulate_grad(dx);
+                       x->accumulate_grad(*dx);
                      }
                      if (alpha->requires_grad()) {
-                       T::Tensor da({m});
+                       T::pool::Scratch da({m}, /*zero=*/false);
+                       const float* px = x->value().begin();
+                       const float* pl = lambda->value().begin();
+                       float* d = da->begin();
                        for (std::size_t i = 0; i < m; ++i) {
                          double acc = 0.0;
-                         const float li = lambda->value().at(i);
+                         const float li = pl[i];
                          for (std::size_t j = 0; j < n; ++j) {
-                           acc += double(g.at(i * n + j)) *
-                                  (x->value().at(i * n + j) + li);
+                           acc += double(pg[i * n + j]) * (px[i * n + j] + li);
                          }
-                         da.at(i) = static_cast<float>(acc);
+                         d[i] = static_cast<float>(acc);
                        }
-                       alpha->accumulate_grad(da);
+                       alpha->accumulate_grad(*da);
                      }
                      if (lambda->requires_grad()) {
-                       T::Tensor dl({m});
+                       T::pool::Scratch dl({m}, /*zero=*/false);
+                       float* d = dl->begin();
                        for (std::size_t i = 0; i < m; ++i) {
                          double acc = 0.0;
-                         const float ai = alpha->value().at(i);
+                         const float ai = pa[i];
                          for (std::size_t j = 0; j < n; ++j) {
-                           acc += double(g.at(i * n + j)) * ai;
+                           acc += double(pg[i * n + j]) * ai;
                          }
-                         dl.at(i) = static_cast<float>(acc);
+                         d[i] = static_cast<float>(acc);
                        }
-                       lambda->accumulate_grad(dl);
+                       lambda->accumulate_grad(*dl);
                      }
                    });
 }
@@ -229,23 +279,24 @@ Var concat_cols(const Var& a, const Var& b) {
   const std::size_t m = a->value().dim(0);
   return make_node(std::move(value), {a, b},
                    [a, b, m, na, nb](const T::Tensor& g) {
+                     const float* pg = g.begin();
                      if (a->requires_grad()) {
-                       T::Tensor da({m, na});
+                       T::pool::Scratch da({m, na}, /*zero=*/false);
+                       float* d = da->begin();
                        for (std::size_t i = 0; i < m; ++i) {
-                         for (std::size_t j = 0; j < na; ++j) {
-                           da.at(i * na + j) = g.at(i * (na + nb) + j);
-                         }
+                         const float* src = pg + i * (na + nb);
+                         std::copy(src, src + na, d + i * na);
                        }
-                       a->accumulate_grad(da);
+                       a->accumulate_grad(*da);
                      }
                      if (b->requires_grad()) {
-                       T::Tensor db({m, nb});
+                       T::pool::Scratch db({m, nb}, /*zero=*/false);
+                       float* d = db->begin();
                        for (std::size_t i = 0; i < m; ++i) {
-                         for (std::size_t j = 0; j < nb; ++j) {
-                           db.at(i * nb + j) = g.at(i * (na + nb) + na + j);
-                         }
+                         const float* src = pg + i * (na + nb) + na;
+                         std::copy(src, src + nb, d + i * nb);
                        }
-                       b->accumulate_grad(db);
+                       b->accumulate_grad(*db);
                      }
                    });
 }
@@ -255,13 +306,13 @@ Var slice_rows(const Var& a, std::size_t begin, std::size_t end) {
   T::Tensor value = T::slice_rows(a->value(), begin, end);
   const std::size_t m = a->value().dim(0), n = a->value().dim(1);
   return make_node(std::move(value), {a}, [a, begin, end, m, n](const T::Tensor& g) {
-    T::Tensor da({m, n});
+    T::pool::Scratch da({m, n});  // zeroed: only [begin, end) rows are written
+    const float* pg = g.begin();
+    float* d = da->begin();
     for (std::size_t i = begin; i < end; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        da.at(i * n + j) = g.at((i - begin) * n + j);
-      }
+      std::copy(pg + (i - begin) * n, pg + (i - begin + 1) * n, d + i * n);
     }
-    a->accumulate_grad(da);
+    a->accumulate_grad(*da);
   });
 }
 
@@ -269,20 +320,23 @@ Var slice_cols(const Var& a, std::size_t begin, std::size_t end) {
   require_rank2(a, "slice_cols");
   const std::size_t m = a->value().dim(0), n = a->value().dim(1);
   REFFIL_CHECK_MSG(begin <= end && end <= n, "slice_cols: bad range");
-  T::Tensor value({m, end - begin});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = begin; j < end; ++j) {
-      value.at(i * (end - begin) + (j - begin)) = a->value().at(i * n + j);
+  const std::size_t w = end - begin;
+  T::Tensor value({m, w});
+  {
+    const float* pa = a->value().begin();
+    float* pv = value.begin();
+    for (std::size_t i = 0; i < m; ++i) {
+      std::copy(pa + i * n + begin, pa + i * n + end, pv + i * w);
     }
   }
-  return make_node(std::move(value), {a}, [a, begin, end, m, n](const T::Tensor& g) {
-    T::Tensor da({m, n});
+  return make_node(std::move(value), {a}, [a, begin, m, n, w](const T::Tensor& g) {
+    T::pool::Scratch da({m, n});  // zeroed: only the sliced columns are written
+    const float* pg = g.begin();
+    float* d = da->begin();
     for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = begin; j < end; ++j) {
-        da.at(i * n + j) = g.at(i * (end - begin) + (j - begin));
-      }
+      std::copy(pg + i * w, pg + (i + 1) * w, d + i * n + begin);
     }
-    a->accumulate_grad(da);
+    a->accumulate_grad(*da);
   });
 }
 
@@ -292,9 +346,9 @@ Var select_row(const Var& table, std::size_t index) {
   REFFIL_CHECK_MSG(index < m, "select_row: index out of range");
   T::Tensor value = T::slice_rows(table->value(), index, index + 1);
   return make_node(std::move(value), {table}, [table, index, m, n](const T::Tensor& g) {
-    T::Tensor dt({m, n});
-    for (std::size_t j = 0; j < n; ++j) dt.at(index * n + j) = g.at(j);
-    table->accumulate_grad(dt);
+    T::pool::Scratch dt({m, n});  // zeroed: only row `index` is written
+    std::copy(g.begin(), g.begin() + n, dt->begin() + index * n);
+    table->accumulate_grad(*dt);
   });
 }
 
@@ -319,11 +373,13 @@ Var mean_rows(const Var& a) {
   T::Tensor value = T::mean_rows(a->value()).reshaped({1, n});
   return make_node(std::move(value), {a}, [a, m, n](const T::Tensor& g) {
     const float inv = 1.0f / static_cast<float>(m);
-    T::Tensor da({m, n});
+    T::pool::Scratch da({m, n}, /*zero=*/false);
+    const float* pg = g.begin();
+    float* d = da->begin();
     for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = 0; j < n; ++j) da.at(i * n + j) = g.at(j) * inv;
+      for (std::size_t j = 0; j < n; ++j) d[i * n + j] = pg[j] * inv;
     }
-    a->accumulate_grad(da);
+    a->accumulate_grad(*da);
   });
 }
 
@@ -338,60 +394,71 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
   auto xhat = std::make_shared<T::Tensor>(T::Shape{m, n});
   auto inv_std = std::make_shared<std::vector<float>>(m);
   T::Tensor value({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* src = x->value().begin() + i * n;
-    double mean = 0.0;
-    for (std::size_t j = 0; j < n; ++j) mean += src[j];
-    mean /= static_cast<double>(n);
-    double var = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double d = src[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(n);
-    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_std)[i] = istd;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float h = (src[j] - static_cast<float>(mean)) * istd;
-      xhat->at(i * n + j) = h;
-      value.at(i * n + j) = h * gain->value().at(j) + bias->value().at(j);
+  {
+    const float* pgain = gain->value().begin();
+    const float* pbias = bias->value().begin();
+    float* ph = xhat->begin();
+    float* pv = value.begin();
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* src = x->value().begin() + i * n;
+      double mean = 0.0;
+      for (std::size_t j = 0; j < n; ++j) mean += src[j];
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = src[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+      (*inv_std)[i] = istd;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float h = (src[j] - static_cast<float>(mean)) * istd;
+        ph[i * n + j] = h;
+        pv[i * n + j] = h * pgain[j] + pbias[j];
+      }
     }
   }
   return make_node(std::move(value), {x, gain, bias},
                    [x, gain, bias, xhat, inv_std, m, n](const T::Tensor& g) {
+                     const float* pg = g.begin();
+                     const float* ph = xhat->begin();
                      if (gain->requires_grad()) {
-                       T::Tensor dg({n});
+                       T::pool::Scratch dg({n});  // zeroed: accumulates over rows
+                       float* d = dg->begin();
                        for (std::size_t i = 0; i < m; ++i) {
                          for (std::size_t j = 0; j < n; ++j) {
-                           dg.at(j) += g.at(i * n + j) * xhat->at(i * n + j);
+                           d[j] += pg[i * n + j] * ph[i * n + j];
                          }
                        }
-                       gain->accumulate_grad(dg);
+                       gain->accumulate_grad(*dg);
                      }
                      if (bias->requires_grad()) {
                        bias->accumulate_grad(T::sum_rows(g));
                      }
                      if (x->requires_grad()) {
-                       T::Tensor dx({m, n});
+                       T::pool::Scratch dx({m, n}, /*zero=*/false);
+                       const float* pgain = gain->value().begin();
+                       float* d = dx->begin();
                        for (std::size_t i = 0; i < m; ++i) {
                          // ghat = g * gain; dx = istd*(ghat - mean(ghat)
                          //        - xhat * mean(ghat*xhat))
                          double mean_gh = 0.0, mean_ghx = 0.0;
                          for (std::size_t j = 0; j < n; ++j) {
-                           const double gh = double(g.at(i * n + j)) * gain->value().at(j);
+                           const double gh = double(pg[i * n + j]) * pgain[j];
                            mean_gh += gh;
-                           mean_ghx += gh * xhat->at(i * n + j);
+                           mean_ghx += gh * ph[i * n + j];
                          }
                          mean_gh /= static_cast<double>(n);
                          mean_ghx /= static_cast<double>(n);
                          const float istd = (*inv_std)[i];
                          for (std::size_t j = 0; j < n; ++j) {
-                           const double gh = double(g.at(i * n + j)) * gain->value().at(j);
-                           dx.at(i * n + j) = static_cast<float>(
-                               istd * (gh - mean_gh - xhat->at(i * n + j) * mean_ghx));
+                           const double gh = double(pg[i * n + j]) * pgain[j];
+                           d[i * n + j] = static_cast<float>(
+                               istd * (gh - mean_gh - ph[i * n + j] * mean_ghx));
                          }
                        }
-                       x->accumulate_grad(dx);
+                       x->accumulate_grad(*dx);
                      }
                    });
 }
@@ -402,18 +469,21 @@ Var softmax_rows(const Var& logits) {
   const std::size_t m = s.dim(0), n = s.dim(1);
   return make_node(s, {logits}, [logits, s, m, n](const T::Tensor& g) {
     // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
-    T::Tensor dx({m, n});
+    T::pool::Scratch dx({m, n}, /*zero=*/false);
+    const float* pg = g.begin();
+    const float* ps = s.begin();
+    float* d = dx->begin();
     for (std::size_t i = 0; i < m; ++i) {
       double row_dot = 0.0;
       for (std::size_t j = 0; j < n; ++j) {
-        row_dot += double(g.at(i * n + j)) * s.at(i * n + j);
+        row_dot += double(pg[i * n + j]) * ps[i * n + j];
       }
       for (std::size_t j = 0; j < n; ++j) {
-        dx.at(i * n + j) = static_cast<float>(
-            s.at(i * n + j) * (double(g.at(i * n + j)) - row_dot));
+        d[i * n + j] = static_cast<float>(
+            ps[i * n + j] * (double(pg[i * n + j]) - row_dot));
       }
     }
-    logits->accumulate_grad(dx);
+    logits->accumulate_grad(*dx);
   });
 }
 
@@ -433,12 +503,15 @@ Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labe
   return make_node(T::Tensor::scalar(static_cast<float>(loss)), {logits},
                    [logits, probs, labels_copy, m, k](const T::Tensor& g) {
                      const float scale = g.item() / static_cast<float>(m);
-                     T::Tensor dx = probs;
+                     T::pool::Scratch dx({m, k}, /*zero=*/false);
+                     const float* pp = probs.begin();
+                     float* d = dx->begin();
+                     for (std::size_t i = 0; i < m * k; ++i) d[i] = pp[i];
                      for (std::size_t i = 0; i < m; ++i) {
-                       dx.at(i * k + (*labels_copy)[i]) -= 1.0f;
+                       d[i * k + (*labels_copy)[i]] -= 1.0f;
                      }
-                     T::scale_inplace(dx, scale);
-                     logits->accumulate_grad(dx);
+                     T::scale_inplace(*dx, scale);
+                     logits->accumulate_grad(*dx);
                    });
 }
 
@@ -463,9 +536,15 @@ Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_p
   return make_node(T::Tensor::scalar(static_cast<float>(loss)), {student_logits},
                    [student_logits, q, teacher_probs, temperature, m](const T::Tensor& g) {
                      // d/dz = (q - p) / (m * T)
-                     T::Tensor dx = T::sub(q, teacher_probs);
-                     T::scale_inplace(dx, g.item() / (static_cast<float>(m) * temperature));
-                     student_logits->accumulate_grad(dx);
+                     const float scale = g.item() / (static_cast<float>(m) * temperature);
+                     T::pool::Scratch dx(q.shape(), /*zero=*/false);
+                     const float* pq = q.begin();
+                     const float* pp = teacher_probs.begin();
+                     float* d = dx->begin();
+                     for (std::size_t i = 0; i < q.numel(); ++i) {
+                       d[i] = (pq[i] - pp[i]) * scale;
+                     }
+                     student_logits->accumulate_grad(*dx);
                    });
 }
 
@@ -495,22 +574,22 @@ Var cosine_similarity(const Var& a, const Var& b) {
         const float* pb = b->value().begin();
         // d cos / d a_i = b_i/(|a||b|) - cos * a_i/|a|^2  (and symmetrically).
         if (a->requires_grad()) {
-          T::Tensor da(a->value().shape());
-          float* d = da.begin();
+          T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+          float* d = da->begin();
           for (std::size_t i = 0; i < n; ++i) {
             d[i] = static_cast<float>(
                 gs * (pb[i] / (norm_a * norm_b) - cos * pa[i] / (norm_a * norm_a)));
           }
-          a->accumulate_grad(da);
+          a->accumulate_grad(*da);
         }
         if (b->requires_grad()) {
-          T::Tensor db(b->value().shape());
-          float* d = db.begin();
+          T::pool::Scratch db(b->value().shape(), /*zero=*/false);
+          float* d = db->begin();
           for (std::size_t i = 0; i < n; ++i) {
             d[i] = static_cast<float>(
                 gs * (pa[i] / (norm_a * norm_b) - cos * pb[i] / (norm_b * norm_b)));
           }
-          b->accumulate_grad(db);
+          b->accumulate_grad(*db);
         }
       });
 }
@@ -543,13 +622,17 @@ ConvGeometry conv_geometry(const T::Tensor& input, std::size_t kh, std::size_t k
   return geom;
 }
 
-// Unfold input into a [Cin*kh*kw, Hout*Wout] column matrix.
-T::Tensor im2col(const T::Tensor& input, const ConvGeometry& g) {
-  T::Tensor col({g.cin * g.kh * g.kw, g.hout * g.wout});
+// Unfold input into the [Cin*kh*kw, Hout*Wout] column matrix `col` (every
+// element is written, padding as 0, so `col` need not be zeroed on entry).
+void im2col_into(const T::Tensor& input, const ConvGeometry& g, T::Tensor& col) {
+  const float* pin = input.begin();
+  float* pcol = col.begin();
+  const std::size_t hw = g.hout * g.wout;
   for (std::size_t c = 0; c < g.cin; ++c) {
     for (std::size_t ki = 0; ki < g.kh; ++ki) {
       for (std::size_t kj = 0; kj < g.kw; ++kj) {
         const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        float* dst = pcol + row * hw;
         for (std::size_t oi = 0; oi < g.hout; ++oi) {
           const std::ptrdiff_t ii =
               static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
@@ -561,25 +644,29 @@ T::Tensor im2col(const T::Tensor& input, const ConvGeometry& g) {
             float v = 0.0f;
             if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(g.h) && jj >= 0 &&
                 jj < static_cast<std::ptrdiff_t>(g.w)) {
-              v = input.at((c * g.h + static_cast<std::size_t>(ii)) * g.w +
-                           static_cast<std::size_t>(jj));
+              v = pin[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                      static_cast<std::size_t>(jj)];
             }
-            col.at(row * (g.hout * g.wout) + oi * g.wout + oj) = v;
+            dst[oi * g.wout + oj] = v;
           }
         }
       }
     }
   }
-  return col;
 }
 
 // Scatter a column-matrix gradient back to input layout (adjoint of im2col).
-T::Tensor col2im(const T::Tensor& dcol, const ConvGeometry& g) {
-  T::Tensor dinput({g.cin, g.h, g.w});
+// `dinput` must be zero-filled: padding-clipped taps contribute nothing.
+void col2im_into(const T::Tensor& dcol, const ConvGeometry& g,
+                 T::Tensor& dinput) {
+  const float* pcol = dcol.begin();
+  float* pin = dinput.begin();
+  const std::size_t hw = g.hout * g.wout;
   for (std::size_t c = 0; c < g.cin; ++c) {
     for (std::size_t ki = 0; ki < g.kh; ++ki) {
       for (std::size_t kj = 0; kj < g.kw; ++kj) {
         const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        const float* src = pcol + row * hw;
         for (std::size_t oi = 0; oi < g.hout; ++oi) {
           const std::ptrdiff_t ii =
               static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
@@ -590,15 +677,13 @@ T::Tensor col2im(const T::Tensor& dcol, const ConvGeometry& g) {
                 static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
                 static_cast<std::ptrdiff_t>(g.pad);
             if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(g.w)) continue;
-            dinput.at((c * g.h + static_cast<std::size_t>(ii)) * g.w +
-                      static_cast<std::size_t>(jj)) +=
-                dcol.at(row * (g.hout * g.wout) + oi * g.wout + oj);
+            pin[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                static_cast<std::size_t>(jj)] += src[oi * g.wout + oj];
           }
         }
       }
     }
   }
-  return dinput;
 }
 
 }  // namespace
@@ -614,38 +699,58 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
   if (bias->value().rank() != 1 || bias->value().dim(0) != cout) {
     throw ShapeError("conv2d bias must be [Cout]");
   }
+  const std::size_t hw = geom.hout * geom.wout;
 
-  auto col = std::make_shared<T::Tensor>(im2col(input->value(), geom));
-  T::Tensor out2d = T::matmul(weight->value(), *col);  // [Cout, Hout*Wout]
-  for (std::size_t c = 0; c < cout; ++c) {
-    const float b = bias->value().at(c);
-    for (std::size_t p = 0; p < geom.hout * geom.wout; ++p) {
-      out2d.at(c * geom.hout * geom.wout + p) += b;
+  // The column matrix is the one forward intermediate backward needs, so it
+  // is pool-borrowed with shared ownership: the buffer returns to a free
+  // list when the graph node dies instead of round-tripping the allocator
+  // every forward pass.
+  auto col = std::make_shared<T::pool::Scratch>(
+      T::Shape{geom.cin * kh * kw, hw}, /*zero=*/false);
+  im2col_into(input->value(), geom, **col);
+  T::Tensor out2d = T::matmul(weight->value(), **col);  // [Cout, Hout*Wout]
+  {
+    const float* pb = bias->value().begin();
+    float* po = out2d.begin();
+    for (std::size_t c = 0; c < cout; ++c) {
+      const float b = pb[c];
+      for (std::size_t p = 0; p < hw; ++p) po[c * hw + p] += b;
     }
   }
-  T::Tensor value = out2d.reshaped({cout, geom.hout, geom.wout});
+  T::Tensor value = std::move(out2d).reshaped({cout, geom.hout, geom.wout});
 
   return make_node(
       std::move(value), {input, weight, bias},
-      [input, weight, bias, col, geom, cout](const T::Tensor& g) {
-        const T::Tensor g2d = g.reshaped({cout, geom.hout * geom.wout});
+      [input, weight, bias, col, geom, cout, hw](const T::Tensor& g) {
+        // g arrives as [Cout, Hout, Wout]; its storage is already the row-
+        // major [Cout, Hout*Wout] matrix, so reinterpret via pooled scratch.
+        T::pool::Scratch g2d({cout, hw}, /*zero=*/false);
+        std::copy(g.begin(), g.end(), g2d->begin());
         if (bias->requires_grad()) {
-          T::Tensor db({cout});
+          T::pool::Scratch db({cout}, /*zero=*/false);
+          const float* pg = g2d->begin();
+          float* d = db->begin();
           for (std::size_t c = 0; c < cout; ++c) {
             double acc = 0.0;
-            for (std::size_t p = 0; p < geom.hout * geom.wout; ++p) {
-              acc += g2d.at(c * geom.hout * geom.wout + p);
-            }
-            db.at(c) = static_cast<float>(acc);
+            for (std::size_t p = 0; p < hw; ++p) acc += pg[c * hw + p];
+            d[c] = static_cast<float>(acc);
           }
-          bias->accumulate_grad(db);
+          bias->accumulate_grad(*db);
         }
         if (weight->requires_grad()) {
-          weight->accumulate_grad(T::matmul(g2d, T::transpose2d(*col)));
+          // dW = g2d · colᵀ, fused — the old path materialized colᵀ (the
+          // largest temporary of the whole backward sweep) every step.
+          T::pool::Scratch dw(weight->value().shape(), /*zero=*/false);
+          T::matmul_nt_into(*g2d, **col, *dw);
+          weight->accumulate_grad(*dw);
         }
         if (input->requires_grad()) {
-          const T::Tensor dcol = T::matmul(T::transpose2d(weight->value()), g2d);
-          input->accumulate_grad(col2im(dcol, geom));
+          // dcol = Wᵀ · g2d, fused likewise.
+          T::pool::Scratch dcol(col->tensor().shape(), /*zero=*/false);
+          T::matmul_tn_into(weight->value(), *g2d, *dcol);
+          T::pool::Scratch dinput(input->value().shape());  // zeroed for col2im
+          col2im_into(*dcol, geom, *dinput);
+          input->accumulate_grad(*dinput);
         }
       });
 }

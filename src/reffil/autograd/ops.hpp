@@ -32,6 +32,10 @@ Var log(const Var& a);
 // ---- linear algebra ------------------------------------------------------------
 /// [m,k] x [k,n] -> [m,n].
 Var matmul(const Var& a, const Var& b);
+/// Fused a·bᵀ: [m,k] x [n,k] -> [m,n]. Equivalent to
+/// matmul(a, transpose(b)) but neither the forward nor the backward pass
+/// materializes a transposed copy (attention uses this for q·kᵀ scores).
+Var matmul_nt(const Var& a, const Var& b);
 /// 2-D transpose.
 Var transpose(const Var& a);
 /// X [m,n] + broadcast row vector b [n].

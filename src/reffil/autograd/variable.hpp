@@ -11,6 +11,7 @@
 // stack needs and keeps the seeding rule unambiguous.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -35,8 +36,18 @@ class Node {
   /// Accumulated gradient; zero tensor of value's shape until backward runs.
   const tensor::Tensor& grad() const { return grad_; }
 
-  /// Reset the gradient to zero (keeps shape).
-  void zero_grad() { grad_ = tensor::Tensor(value_.shape()); }
+  /// Reset the gradient to zero (keeps shape). When the stored gradient
+  /// already has the right shape the buffer is zero-filled in place — no
+  /// allocation — and stays live so the next accumulate_grad adds into it.
+  void zero_grad() {
+    if (grad_.shape() == value_.shape()) {
+      std::fill(grad_.begin(), grad_.end(), 0.0f);
+      grad_initialized_ = true;
+    } else {
+      grad_ = tensor::Tensor(value_.shape());
+      grad_initialized_ = false;
+    }
+  }
 
   /// Add g into the stored gradient (lazily shaped on first call).
   void accumulate_grad(const tensor::Tensor& g);

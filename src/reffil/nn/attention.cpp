@@ -41,8 +41,9 @@ AG::Var MultiHeadSelfAttention::forward(const AG::Var& tokens) const {
     const AG::Var qh = AG::slice_cols(q, lo, hi);
     const AG::Var kh = AG::slice_cols(k, lo, hi);
     const AG::Var vh = AG::slice_cols(v, lo, hi);
-    const AG::Var scores =
-        AG::mul_scalar(AG::matmul(qh, AG::transpose(kh)), scale);
+    // Fused q·kᵀ: no transposed key copy is materialized in forward or
+    // backward (AG::matmul_nt routes both through the _nt/_tn kernels).
+    const AG::Var scores = AG::mul_scalar(AG::matmul_nt(qh, kh), scale);
     const AG::Var attn = AG::softmax_rows(scores);
     const AG::Var out_h = AG::matmul(attn, vh);
     merged = (h == 0) ? out_h : AG::concat_cols(merged, out_h);

@@ -1,8 +1,10 @@
 #include "reffil/nn/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "reffil/tensor/ops.hpp"
+#include "reffil/tensor/pool.hpp"
 #include "reffil/util/error.hpp"
 
 namespace reffil::nn {
@@ -39,21 +41,33 @@ void SgdOptimizer::step() {
   }
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    T::Tensor grad = p->grad();
-    if (grad.shape() != p->value().shape()) {
+    const T::Tensor& g = p->grad();
+    if (g.shape() != p->value().shape()) {
       // Parameter never touched by backward this step — skip.
       continue;
     }
-    if (clip_scale != 1.0f) T::scale_inplace(grad, clip_scale);
-    if (config_.weight_decay > 0.0f) {
-      T::axpy_inplace(grad, config_.weight_decay, p->value());
-    }
-    if (config_.momentum > 0.0f) {
-      T::scale_inplace(velocity_[i], config_.momentum);
-      T::add_inplace(velocity_[i], grad);
-      T::axpy_inplace(p->mutable_value(), -config_.learning_rate, velocity_[i]);
+    const auto apply = [&](const T::Tensor& grad) {
+      if (config_.momentum > 0.0f) {
+        T::scale_inplace(velocity_[i], config_.momentum);
+        T::add_inplace(velocity_[i], grad);
+        T::axpy_inplace(p->mutable_value(), -config_.learning_rate,
+                        velocity_[i]);
+      } else {
+        T::axpy_inplace(p->mutable_value(), -config_.learning_rate, grad);
+      }
+    };
+    // The stored gradient only needs a mutable copy when clipping or decay
+    // rewrite it; the plain-SGD path reads it in place.
+    if (clip_scale != 1.0f || config_.weight_decay > 0.0f) {
+      T::pool::Scratch grad(g.shape(), /*zero=*/false);
+      std::copy(g.begin(), g.end(), grad->begin());
+      if (clip_scale != 1.0f) T::scale_inplace(*grad, clip_scale);
+      if (config_.weight_decay > 0.0f) {
+        T::axpy_inplace(*grad, config_.weight_decay, p->value());
+      }
+      apply(*grad);
     } else {
-      T::axpy_inplace(p->mutable_value(), -config_.learning_rate, grad);
+      apply(g);
     }
   }
 }

@@ -1,0 +1,114 @@
+// Shared serial matmul micro-kernels (library-internal).
+//
+// ops.cpp (serial path) and parallel.cpp (row-parallel path) both call these
+// row-range kernels, so the two paths execute byte-for-byte the same
+// per-element code: the parallel layer merely hands each worker a disjoint
+// [r0, r1) slice of the output rows. That is what makes the parallel==serial
+// bitwise guarantee (DESIGN.md §6) hold by construction rather than by test
+// luck.
+//
+// Determinism contract: for every output element out[i, j], the k-dimension
+// is streamed in increasing order with one float accumulator and the same
+// skip-zero rule the original i-k-j kernel used. The i/j cache tiles only
+// reorder *which* outputs are produced when, never the accumulation order
+// within one output, so results are bitwise identical to the untiled loop.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace reffil::tensor::detail {
+
+/// Cache-tile extents. kTileJ * kTileK floats of B (64 KiB) plus a row
+/// stripe of the output stay L2-resident while K streams; the nt kernel's
+/// pack buffer is the same kTileK x kTileJ footprint.
+inline constexpr std::size_t kTileJ = 128;
+inline constexpr std::size_t kTileK = 128;
+
+/// Rows [r0, r1) of out[m, n] += a[m, K] * b[K, n]. `out` rows must be
+/// zero-filled on entry.
+inline void matmul_rows_nn(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    for (std::size_t k0 = 0; k0 < K; k0 += kTileK) {
+      const std::size_t k1 = std::min(K, k0 + kTileK);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float* a_row = a + i * K;
+        float* out_row = out + i * n;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float aik = a_row[kk];
+          if (aik == 0.0f) continue;
+          const float* b_row = b + kk * n;
+          for (std::size_t j = j0; j < j1; ++j) out_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+/// Rows [r0, r1) of out[m, n] += a[m, K] * b[n, K]^T. One kTileK x kTileJ
+/// block of b at a time is transposed into a reused thread-local pack
+/// buffer, then consumed by the same vectorizable j-sweep inner loop as the
+/// nn kernel. A naive per-element dot over the rows of b would carry the
+/// accumulator through every iteration and defeat vectorization (measured
+/// ~5x slower); the pack buffer restores the nn kernel's throughput at a
+/// constant 64 KiB footprint — never a full [K, n] transposed temporary,
+/// never an allocation after the first call on a thread. Per output element
+/// the accumulation still streams k upward with the skip-zero rule on the
+/// a element, so results are bitwise identical to
+/// matmul_rows_nn(a, transpose(b)). `out` rows must be zero-filled.
+inline void matmul_rows_nt(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t n) {
+  thread_local std::vector<float> pack(kTileK * kTileJ);
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    const std::size_t jw = j1 - j0;
+    for (std::size_t k0 = 0; k0 < K; k0 += kTileK) {
+      const std::size_t k1 = std::min(K, k0 + kTileK);
+      for (std::size_t j = j0; j < j1; ++j) {
+        const float* b_row = b + j * K;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          pack[(kk - k0) * jw + (j - j0)] = b_row[kk];
+        }
+      }
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float* a_row = a + i * K;
+        float* out_row = out + i * n + j0;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float aik = a_row[kk];
+          if (aik == 0.0f) continue;
+          const float* p_row = pack.data() + (kk - k0) * jw;
+          for (std::size_t j = 0; j < jw; ++j) out_row[j] += aik * p_row[j];
+        }
+      }
+    }
+  }
+}
+
+/// Rows [r0, r1) of out[m, n] += a[K, m]^T * b[K, n]. The k loop is the
+/// outer walk, so per output element the accumulation order still streams k
+/// upward; a's "column" a[., i] is read as the contiguous slice a[kk*m + i].
+/// `out` rows must be zero-filled.
+inline void matmul_rows_tn(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t m, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    for (std::size_t kk = 0; kk < K; ++kk) {
+      const float* a_col = a + kk * m;
+      const float* b_row = b + kk * n;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float aki = a_col[i];
+        if (aki == 0.0f) continue;
+        float* out_row = out + i * n;
+        for (std::size_t j = j0; j < j1; ++j) out_row[j] += aki * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace reffil::tensor::detail

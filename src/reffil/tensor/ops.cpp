@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "reffil/tensor/kernels.hpp"
 #include "reffil/tensor/parallel.hpp"
 
 namespace reffil::tensor {
@@ -161,36 +162,110 @@ void scale_inplace(Tensor& a, float s) {
   });
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  require_rank2(a, "matmul(a)");
-  require_rank2(b, "matmul(b)");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) {
-    throw ShapeError("matmul: " + shape_to_string(a.shape()) + " x " +
-                     shape_to_string(b.shape()));
+namespace {
+
+// Shape validation for the matmul family; returns {m, k, n} of the product.
+struct MatmulDims {
+  std::size_t m, k, n;
+};
+
+MatmulDims matmul_dims(const Tensor& a, const Tensor& b, const char* op,
+                       bool transpose_a, bool transpose_b) {
+  require_rank2(a, op);
+  require_rank2(b, op);
+  const std::size_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const std::size_t k = transpose_a ? a.dim(0) : a.dim(1);
+  const std::size_t bk = transpose_b ? b.dim(1) : b.dim(0);
+  const std::size_t n = transpose_b ? b.dim(0) : b.dim(1);
+  if (bk != k) {
+    throw ShapeError(std::string(op) + ": " + shape_to_string(a.shape()) +
+                     " x " + shape_to_string(b.shape()));
   }
-  Tensor out({m, n});
-  if (P::should_parallelize(m * n * k, P::kMatmulFlopThreshold)) {
+  return {m, k, n};
+}
+
+void require_out_shape(const Tensor& out, std::size_t m, std::size_t n,
+                       const char* op) {
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) {
+    throw ShapeError(std::string(op) + ": output shape " +
+                     shape_to_string(out.shape()) + " != [" +
+                     std::to_string(m) + ", " + std::to_string(n) + "]");
+  }
+}
+
+// Dispatch helpers assume `out` is already zero-filled; the public *_into
+// wrappers zero it first, while matmul/matmul_nt/matmul_tn construct a fresh
+// zeroed tensor. All paths run the same kernels.hpp row kernels.
+void matmul_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
+                     const MatmulDims& d) {
+  if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_into(a, b, out);
-    return out;
+  } else {
+    detail::matmul_rows_nn(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.n);
   }
-  const float* pa = a.begin();
-  const float* pb = b.begin();
-  float* po = out.begin();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // b and out, which is the main thing that matters for a BLAS-free kernel.
-  // (parallel::matmul_into runs the same kernel per row block, so results
-  // are bitwise identical on either side of the threshold.)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* b_row = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-    }
+}
+
+void matmul_nt_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
+                        const MatmulDims& d) {
+  if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
+    P::matmul_nt_into(a, b, out);
+  } else {
+    detail::matmul_rows_nt(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.n);
   }
+}
+
+void matmul_tn_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
+                        const MatmulDims& d) {
+  if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
+    P::matmul_tn_into(a, b, out);
+  } else {
+    detail::matmul_rows_tn(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.m,
+                           d.n);
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_dims(a, b, "matmul", false, false);
+  Tensor out({d.m, d.n});
+  matmul_dispatch(a, b, out, d);
   return out;
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const MatmulDims d = matmul_dims(a, b, "matmul_into", false, false);
+  require_out_shape(out, d.m, d.n, "matmul_into");
+  std::fill(out.begin(), out.end(), 0.0f);
+  matmul_dispatch(a, b, out, d);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_dims(a, b, "matmul_nt", false, true);
+  Tensor out({d.m, d.n});
+  matmul_nt_dispatch(a, b, out, d);
+  return out;
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const MatmulDims d = matmul_dims(a, b, "matmul_nt_into", false, true);
+  require_out_shape(out, d.m, d.n, "matmul_nt_into");
+  std::fill(out.begin(), out.end(), 0.0f);
+  matmul_nt_dispatch(a, b, out, d);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_dims(a, b, "matmul_tn", true, false);
+  Tensor out({d.m, d.n});
+  matmul_tn_dispatch(a, b, out, d);
+  return out;
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const MatmulDims d = matmul_dims(a, b, "matmul_tn_into", true, false);
+  require_out_shape(out, d.m, d.n, "matmul_tn_into");
+  std::fill(out.begin(), out.end(), 0.0f);
+  matmul_tn_dispatch(a, b, out, d);
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -201,8 +276,10 @@ Tensor transpose2d(const Tensor& a) {
     P::transpose2d_into(a, out);
     return out;
   }
+  const float* pa = a.begin();
+  float* po = out.begin();
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) out.at(j * m + i) = a.at(i * n + j);
+    for (std::size_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
   }
   return out;
 }
@@ -215,10 +292,14 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   }
   const std::size_t m = a.dim(0), k = a.dim(1);
   Tensor out({m});
+  const float* pa = a.begin();
+  const float* px = x.begin();
+  float* po = out.begin();
   for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = pa + i * k;
     float acc = 0.0f;
-    for (std::size_t j = 0; j < k; ++j) acc += a.at(i * k + j) * x.at(j);
-    out.at(i) = acc;
+    for (std::size_t j = 0; j < k; ++j) acc += a_row[j] * px[j];
+    po[i] = acc;
   }
   return out;
 }
@@ -243,8 +324,11 @@ Tensor sum_rows(const Tensor& a) {
   require_rank2(a, "sum_rows");
   const std::size_t m = a.dim(0), n = a.dim(1);
   Tensor out({n});
+  const float* pa = a.begin();
+  float* po = out.begin();
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) out.at(j) += a.at(i * n + j);
+    const float* a_row = pa + i * n;
+    for (std::size_t j = 0; j < n; ++j) po[j] += a_row[j];
   }
   return out;
 }
@@ -254,10 +338,13 @@ Tensor mean_cols(const Tensor& a) {
   const std::size_t m = a.dim(0), n = a.dim(1);
   REFFIL_CHECK(n > 0);
   Tensor out({m});
+  const float* pa = a.begin();
+  float* po = out.begin();
   for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = pa + i * n;
     double acc = 0.0;
-    for (std::size_t j = 0; j < n; ++j) acc += a.at(i * n + j);
-    out.at(i) = static_cast<float>(acc / static_cast<double>(n));
+    for (std::size_t j = 0; j < n; ++j) acc += a_row[j];
+    po[i] = static_cast<float>(acc / static_cast<double>(n));
   }
   return out;
 }

@@ -53,9 +53,23 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b);
 void scale_inplace(Tensor& a, float s);
 
 // ---- linear algebra ---------------------------------------------------------
-/// 2-D matrix product [m,k]x[k,n] -> [m,n] (cache-blocked; row-parallel
-/// above parallel::kMatmulFlopThreshold).
+// The matmul family is cache-tiled over i/j with k streamed in order, so the
+// tiled kernels are bitwise identical to the plain triple loop, and
+// row-parallel above parallel::kMatmulFlopThreshold. The _nt/_tn fused
+// variants read the transposed operand in place — matmul_nt(a, b) ==
+// matmul(a, transpose2d(b)) and matmul_tn(a, b) == matmul(transpose2d(a), b)
+// bitwise, with no transposed temporary ever materialized. The *_into forms
+// overwrite a preallocated output (for pool::Scratch reuse on the autograd
+// backward path).
+/// 2-D matrix product [m,k]x[k,n] -> [m,n].
 Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// Fused a·bᵀ: [m,k]x[n,k] -> [m,n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// Fused aᵀ·b: [k,m]x[k,n] -> [m,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
 /// 2-D transpose (parallel above parallel::kElementwiseThreshold).
 Tensor transpose2d(const Tensor& a);
 /// Matrix-vector product [m,k]x[k] -> [m].

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "reffil/tensor/kernels.hpp"
 #include "reffil/util/thread_pool.hpp"
 
 namespace reffil::tensor::parallel {
@@ -10,6 +11,12 @@ namespace reffil::tensor::parallel {
 namespace {
 
 std::atomic<bool> g_enabled{true};
+
+/// Row grain keeping at least ~kMatmulFlopThreshold/4 MACs per block.
+std::size_t matmul_row_grain(std::size_t k, std::size_t n) {
+  const std::size_t row_cost = std::max<std::size_t>(1, k * n);
+  return std::max<std::size_t>(1, kMatmulFlopThreshold / 4 / row_cost);
+}
 
 }  // namespace
 
@@ -37,27 +44,39 @@ void for_range(std::size_t n, std::size_t grain,
 }
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const std::size_t k = a.dim(1), n = b.dim(1);
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
-  // Partition output rows; each row is produced by exactly one thread with
-  // the serial i-k-j order, so the result is bitwise equal to the serial
-  // kernel. Grain keeps at least ~kMatmulFlopThreshold/4 MACs per block.
-  const std::size_t row_cost = std::max<std::size_t>(1, k * n);
-  const std::size_t grain = std::max<std::size_t>(
-      1, kMatmulFlopThreshold / 4 / row_cost);
-  for_range(m, grain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      float* out_row = po + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* b_row = pb + kk * n;
-        for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-      }
-    }
-  });
+  // Partition output rows; each block runs the shared tiled row kernel with
+  // the serial per-element order, so the result is bitwise equal to the
+  // serial path.
+  for_range(out.dim(0), matmul_row_grain(k, n),
+            [&](std::size_t lo, std::size_t hi) {
+              detail::matmul_rows_nn(pa, pb, po, lo, hi, k, n);
+            });
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t k = a.dim(1), n = b.dim(0);
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  float* po = out.begin();
+  for_range(out.dim(0), matmul_row_grain(k, n),
+            [&](std::size_t lo, std::size_t hi) {
+              detail::matmul_rows_nt(pa, pb, po, lo, hi, k, n);
+            });
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  const float* pa = a.begin();
+  const float* pb = b.begin();
+  float* po = out.begin();
+  for_range(out.dim(0), matmul_row_grain(k, n),
+            [&](std::size_t lo, std::size_t hi) {
+              detail::matmul_rows_tn(pa, pb, po, lo, hi, k, m, n);
+            });
 }
 
 void transpose2d_into(const Tensor& a, Tensor& out) {

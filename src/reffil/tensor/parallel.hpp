@@ -47,9 +47,16 @@ void for_range(std::size_t n, std::size_t grain,
                const std::function<void(std::size_t, std::size_t)>& fn);
 
 // ---- kernels (write into preallocated outputs) -----------------------------
-/// out[m,n] += contribution of a[m,k] x b[k,n], rows of `out` partitioned
-/// across workers; `out` must be zero-initialised.
+// The matmul family partitions output rows across workers and runs the same
+// tiled row kernels (tensor/kernels.hpp) the serial path uses, so results
+// are bitwise identical on either side of the dispatch threshold. `out`
+// must be zero-initialised for all three.
+/// out[m,n] += a[m,k] x b[k,n].
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[m,n] += a[m,k] x b[n,k]ᵀ (fused transpose-free variant).
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[m,n] += a[k,m]ᵀ x b[k,n] (fused transpose-free variant).
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
 /// out[n,m] = transpose of a[m,n], output rows partitioned across workers.
 void transpose2d_into(const Tensor& a, Tensor& out);
 

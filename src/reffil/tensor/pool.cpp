@@ -1,0 +1,123 @@
+#include "reffil/tensor/pool.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "reffil/util/obs.hpp"
+
+namespace reffil::tensor::pool {
+
+namespace {
+
+// 64 size classes cover every representable capacity; in practice training
+// shapes live in classes ~4..22. Per-thread retention is capped so a burst
+// of huge temporaries cannot pin memory forever, and buffers above the cap
+// are never pooled at all.
+constexpr std::size_t kBucketCount = 64;
+constexpr std::size_t kMaxPooledFloats = std::size_t{1} << 24;    // 64 MiB
+constexpr std::size_t kMaxRetainedFloats = std::size_t{1} << 23;  // 32 MiB
+
+struct ThreadCache {
+  std::vector<std::vector<float>> buckets[kBucketCount];
+  std::size_t retained_floats = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+ThreadCache& cache() {
+  thread_local ThreadCache t_cache;
+  return t_cache;
+}
+
+std::size_t floor_log2(std::size_t v) {
+  std::size_t b = 0;
+  while (v >>= 1) ++b;
+  return b;
+}
+
+/// Smallest bucket whose buffers are guaranteed to hold n floats: buffers in
+/// bucket b have capacity in [2^b, 2^(b+1)), so requests look in
+/// ceil(log2(n)).
+std::size_t acquire_bucket(std::size_t n) {
+  const std::size_t b = floor_log2(n);
+  return ((std::size_t{1} << b) == n) ? b : b + 1;
+}
+
+void count_metrics(bool hit, std::size_t n) {
+  if (!obs::metrics_enabled()) return;
+  // Registry references are stable for the process lifetime (obs.hpp), so
+  // the mutex-guarded lookup happens once.
+  static obs::Counter& hits = obs::counter("tensor.pool.hit");
+  static obs::Counter& misses = obs::counter("tensor.pool.miss");
+  static obs::Counter& bytes = obs::counter("tensor.pool.bytes");
+  if (hit) {
+    hits.add(1);
+    bytes.add(n * sizeof(float));
+  } else {
+    misses.add(1);
+  }
+}
+
+std::vector<float> acquire_buffer(std::size_t n, bool zero) {
+  if (n == 0) return {};
+  ThreadCache& c = cache();
+  if (n <= kMaxPooledFloats) {
+    auto& stack = c.buckets[acquire_bucket(n)];
+    if (!stack.empty()) {
+      std::vector<float> buf = std::move(stack.back());
+      stack.pop_back();
+      c.retained_floats -= buf.capacity();
+      ++c.hits;
+      count_metrics(/*hit=*/true, n);
+      // Capacity >= n by the bucket invariant, so neither call reallocates.
+      if (zero) {
+        buf.assign(n, 0.0f);
+      } else {
+        buf.resize(n);
+      }
+      return buf;
+    }
+  }
+  ++c.misses;
+  count_metrics(/*hit=*/false, n);
+  return std::vector<float>(n, 0.0f);
+}
+
+void release_buffer(std::vector<float>&& buf) {
+  const std::size_t cap = buf.capacity();
+  if (cap == 0 || cap > kMaxPooledFloats) return;
+  ThreadCache& c = cache();
+  if (c.retained_floats + cap > kMaxRetainedFloats) return;  // drop: stay bounded
+  c.retained_floats += cap;
+  c.buckets[floor_log2(cap)].push_back(std::move(buf));
+}
+
+}  // namespace
+
+Scratch::Scratch(Shape shape, bool zero)
+    : tensor_([&] {
+        const std::size_t n = shape_numel(shape);
+        return Tensor(std::move(shape), acquire_buffer(n, zero));
+      }()) {}
+
+Scratch::~Scratch() {
+  if (owns_) release_buffer(std::move(tensor_.data()));
+}
+
+Scratch::Scratch(Scratch&& other) noexcept
+    : tensor_(std::move(other.tensor_)), owns_(other.owns_) {
+  other.owns_ = false;
+}
+
+ThreadStats thread_stats() {
+  const ThreadCache& c = cache();
+  return {c.hits, c.misses, c.retained_floats * sizeof(float)};
+}
+
+void clear_thread_cache() {
+  ThreadCache& c = cache();
+  for (auto& bucket : c.buckets) bucket.clear();
+  c.retained_floats = 0;
+}
+
+}  // namespace reffil::tensor::pool

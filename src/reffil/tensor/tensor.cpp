@@ -91,12 +91,20 @@ float Tensor::item() const {
   return data_[0];
 }
 
-Tensor Tensor::reshaped(Shape new_shape) const {
+Tensor Tensor::reshaped(Shape new_shape) const& {
   if (shape_numel(new_shape) != data_.size()) {
     throw ShapeError("cannot reshape " + shape_to_string(shape_) + " to " +
                      shape_to_string(new_shape));
   }
   return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) && {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw ShapeError("cannot reshape " + shape_to_string(shape_) + " to " +
+                     shape_to_string(new_shape));
+  }
+  return Tensor(std::move(new_shape), std::move(data_));
 }
 
 bool Tensor::all_close(const Tensor& other, float atol) const {

@@ -70,8 +70,10 @@ class Tensor {
   /// Value of a rank-0 or single-element tensor.
   float item() const;
 
-  /// Same data, new shape (numel must match).
-  Tensor reshaped(Shape new_shape) const;
+  /// Same data, new shape (numel must match). The rvalue overload moves the
+  /// storage instead of copying it, so `std::move(t).reshaped(...)` is free.
+  Tensor reshaped(Shape new_shape) const&;
+  Tensor reshaped(Shape new_shape) &&;
 
   /// Exact equality of shape and contents.
   bool operator==(const Tensor& other) const = default;

@@ -101,6 +101,30 @@ TEST_P(MatmulGrid, GradCheckBothOperands) {
   check_leaf_gradient(b, [&] { return AG::mean_all(AG::matmul(a, b)); });
 }
 
+TEST_P(MatmulGrid, FusedNtGradCheckBothOperands) {
+  const auto [m, k, n] = GetParam();
+  reffil::util::Rng rng(m * 300 + k * 20 + n);
+  auto a = AG::parameter(T::randn({m, k}, rng));
+  auto b = AG::parameter(T::randn({n, k}, rng));  // note: b is [n, k]
+  check_leaf_gradient(a, [&] { return AG::mean_all(AG::matmul_nt(a, b)); });
+  a->zero_grad();
+  b->zero_grad();
+  check_leaf_gradient(b, [&] { return AG::mean_all(AG::matmul_nt(a, b)); });
+}
+
+TEST_P(MatmulGrid, FusedNtValueMatchesTransposeComposition) {
+  const auto [m, k, n] = GetParam();
+  reffil::util::Rng rng(m * 700 + k * 70 + n);
+  auto a = AG::parameter(T::randn({m, k}, rng));
+  auto b = AG::parameter(T::randn({n, k}, rng));
+  const auto fused = AG::matmul_nt(a, b);
+  const auto composed = AG::matmul(a, AG::transpose(b));
+  ASSERT_EQ(fused->value().shape(), composed->value().shape());
+  for (std::size_t i = 0; i < fused->value().numel(); ++i) {
+    ASSERT_EQ(fused->value().at(i), composed->value().at(i)) << "element " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Shapes, MatmulGrid,
                          ::testing::Values(std::make_tuple(1UL, 1UL, 1UL),
                                            std::make_tuple(2UL, 5UL, 3UL),
@@ -151,6 +175,21 @@ TEST(TapeSemantics, BackwardTwiceAccumulates) {
   auto loss2 = AG::sum_all(AG::mul(p, p));
   AG::backward(loss2);  // no zero_grad in between
   EXPECT_NEAR(p->grad().at(0), 8.0f, 1e-5f);
+}
+
+TEST(TapeSemantics, ZeroGradReusesBufferInPlace) {
+  auto p = AG::parameter(T::Tensor::vector({3.0f, -1.0f}));
+  AG::backward(AG::sum_all(AG::mul(p, p)));
+  const float* storage = p->grad().begin();
+  p->zero_grad();
+  // Shape matched, so the buffer must be zero-filled in place, not replaced.
+  EXPECT_EQ(p->grad().begin(), storage);
+  EXPECT_EQ(p->grad().at(0), 0.0f);
+  EXPECT_EQ(p->grad().at(1), 0.0f);
+  // And accumulation after an in-place reset behaves like a fresh gradient.
+  AG::backward(AG::sum_all(AG::mul(p, p)));
+  EXPECT_NEAR(p->grad().at(0), 6.0f, 1e-5f);
+  EXPECT_NEAR(p->grad().at(1), -2.0f, 1e-5f);
 }
 
 TEST(TapeSemantics, LinearityOfGradients) {
