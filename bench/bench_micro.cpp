@@ -14,6 +14,7 @@
 #include "reffil/nn/optimizer.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/parallel.hpp"
+#include "reffil/util/prof.hpp"
 #include "reffil/util/thread_pool.hpp"
 
 namespace AG = reffil::autograd;
@@ -169,6 +170,22 @@ static void BM_TrainStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
 }
 BENCHMARK(BM_TrainStep)->Arg(4)->Arg(8);
+
+// Guard for the profiler's disabled-path contract (DESIGN.md §9): with no
+// sink armed, a Span costs one relaxed load — low single-digit ns. If this
+// creeps toward clock-read territory (~20ns+), instrumentation has leaked
+// onto the hot path; BM_TrainStep above is the end-to-end <2% check.
+static void BM_ProfSpanDisabled(benchmark::State& state) {
+  if (reffil::obs::prof::enabled()) {
+    state.SkipWithError("profiler is armed; disabled-path cost unmeasurable");
+    return;
+  }
+  for (auto _ : state) {
+    reffil::obs::prof::Span span("bench.disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ProfSpanDisabled);
 
 static void BM_CdapGenerate(benchmark::State& state) {
   Rng rng(5);

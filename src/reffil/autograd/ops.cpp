@@ -13,10 +13,12 @@
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/pool.hpp"
 #include "reffil/util/error.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::autograd {
 
 namespace T = reffil::tensor;
+namespace prof = obs::prof;
 
 namespace {
 
@@ -68,16 +70,20 @@ Var mul_scalar(const Var& a, float s) {
 Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
 
 Var relu(const Var& a) {
-  return make_node(T::relu(a->value()), {a}, [a](const T::Tensor& g) {
-    T::pool::Scratch dx(g.shape(), /*zero=*/false);
-    const float* x = a->value().begin();
-    const float* pg = g.begin();
-    float* d = dx->begin();
-    for (std::size_t i = 0; i < g.numel(); ++i) {
-      d[i] = x[i] <= 0.0f ? 0.0f : pg[i];
-    }
-    a->accumulate_grad(*dx);
-  });
+  prof::OpSpan ps("ag.relu");
+  return make_node(
+      T::relu(a->value()), {a},
+      [a](const T::Tensor& g) {
+        T::pool::Scratch dx(g.shape(), /*zero=*/false);
+        const float* x = a->value().begin();
+        const float* pg = g.begin();
+        float* d = dx->begin();
+        for (std::size_t i = 0; i < g.numel(); ++i) {
+          d[i] = x[i] <= 0.0f ? 0.0f : pg[i];
+        }
+        a->accumulate_grad(*dx);
+      },
+      ps.name(), ps.corr());
 }
 
 Var tanh(const Var& a) {
@@ -122,38 +128,47 @@ Var log(const Var& a) {
 }
 
 Var matmul(const Var& a, const Var& b) {
+  prof::OpSpan ps("ag.matmul");
   T::Tensor value = T::matmul(a->value(), b->value());
-  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    // dA = g·Bᵀ, dB = Aᵀ·g — fused kernels read the transposed operand in
-    // place; the products land in pooled scratch that dies with the closure.
-    if (a->requires_grad()) {
-      T::pool::Scratch da(a->value().shape(), /*zero=*/false);
-      T::matmul_nt_into(g, b->value(), *da);
-      a->accumulate_grad(*da);
-    }
-    if (b->requires_grad()) {
-      T::pool::Scratch db(b->value().shape(), /*zero=*/false);
-      T::matmul_tn_into(a->value(), g, *db);
-      b->accumulate_grad(*db);
-    }
-  });
+  return make_node(
+      std::move(value), {a, b},
+      [a, b](const T::Tensor& g) {
+        // dA = g·Bᵀ, dB = Aᵀ·g — fused kernels read the transposed operand in
+        // place; the products land in pooled scratch that dies with the
+        // closure.
+        if (a->requires_grad()) {
+          T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+          T::matmul_nt_into(g, b->value(), *da);
+          a->accumulate_grad(*da);
+        }
+        if (b->requires_grad()) {
+          T::pool::Scratch db(b->value().shape(), /*zero=*/false);
+          T::matmul_tn_into(a->value(), g, *db);
+          b->accumulate_grad(*db);
+        }
+      },
+      ps.name(), ps.corr());
 }
 
 Var matmul_nt(const Var& a, const Var& b) {
+  prof::OpSpan ps("ag.matmul_nt");
   T::Tensor value = T::matmul_nt(a->value(), b->value());
-  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    // C = A·Bᵀ, so dA = g·B and dB = gᵀ·A — again no transposed copies.
-    if (a->requires_grad()) {
-      T::pool::Scratch da(a->value().shape(), /*zero=*/false);
-      T::matmul_into(g, b->value(), *da);
-      a->accumulate_grad(*da);
-    }
-    if (b->requires_grad()) {
-      T::pool::Scratch db(b->value().shape(), /*zero=*/false);
-      T::matmul_tn_into(g, a->value(), *db);
-      b->accumulate_grad(*db);
-    }
-  });
+  return make_node(
+      std::move(value), {a, b},
+      [a, b](const T::Tensor& g) {
+        // C = A·Bᵀ, so dA = g·B and dB = gᵀ·A — again no transposed copies.
+        if (a->requires_grad()) {
+          T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+          T::matmul_into(g, b->value(), *da);
+          a->accumulate_grad(*da);
+        }
+        if (b->requires_grad()) {
+          T::pool::Scratch db(b->value().shape(), /*zero=*/false);
+          T::matmul_tn_into(g, a->value(), *db);
+          b->accumulate_grad(*db);
+        }
+      },
+      ps.name(), ps.corr());
 }
 
 Var transpose(const Var& a) {
@@ -170,6 +185,7 @@ Var add_rowvec(const Var& x, const Var& b) {
                      " vs matrix " + T::shape_to_string(x->value().shape()));
   }
   const std::size_t m = x->value().dim(0), n = x->value().dim(1);
+  prof::OpSpan ps("ag.add_rowvec");
   T::Tensor value = x->value();
   const float* pb = b->value().begin();
   float* pv = value.begin();
@@ -177,10 +193,13 @@ Var add_rowvec(const Var& x, const Var& b) {
     float* row = pv + i * n;
     for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
   }
-  return make_node(std::move(value), {x, b}, [x, b](const T::Tensor& g) {
-    if (x->requires_grad()) x->accumulate_grad(g);
-    if (b->requires_grad()) b->accumulate_grad(T::sum_rows(g));
-  });
+  return make_node(
+      std::move(value), {x, b},
+      [x, b](const T::Tensor& g) {
+        if (x->requires_grad()) x->accumulate_grad(g);
+        if (b->requires_grad()) b->accumulate_grad(T::sum_rows(g));
+      },
+      ps.name(), ps.corr());
 }
 
 Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
@@ -196,6 +215,7 @@ Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
   check_vec(alpha, "alpha");
   check_vec(lambda, "lambda");
 
+  prof::OpSpan ps("ag.rowwise_affine");
   T::Tensor value({m, n});
   {
     const float* px = x->value().begin();
@@ -251,7 +271,8 @@ Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
                        }
                        lambda->accumulate_grad(*dl);
                      }
-                   });
+                   },
+                   ps.name(), ps.corr());
 }
 
 Var reshape(const Var& a, tensor::Shape shape) {
@@ -390,6 +411,7 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
       bias->value().rank() != 1 || bias->value().dim(0) != n) {
     throw ShapeError("layer_norm: gain/bias must be [n]");
   }
+  prof::OpSpan ps("ag.layer_norm");
   // Cache per-row inv-std and normalized values for backward.
   auto xhat = std::make_shared<T::Tensor>(T::Shape{m, n});
   auto inv_std = std::make_shared<std::vector<float>>(m);
@@ -460,31 +482,36 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
                        }
                        x->accumulate_grad(*dx);
                      }
-                   });
+                   },
+                   ps.name(), ps.corr());
 }
 
 Var softmax_rows(const Var& logits) {
   require_rank2(logits, "softmax_rows");
+  prof::OpSpan op("ag.softmax_rows");
   T::Tensor s = T::softmax_rows(logits->value());
   const std::size_t m = s.dim(0), n = s.dim(1);
-  return make_node(s, {logits}, [logits, s, m, n](const T::Tensor& g) {
-    // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
-    T::pool::Scratch dx({m, n}, /*zero=*/false);
-    const float* pg = g.begin();
-    const float* ps = s.begin();
-    float* d = dx->begin();
-    for (std::size_t i = 0; i < m; ++i) {
-      double row_dot = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        row_dot += double(pg[i * n + j]) * ps[i * n + j];
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        d[i * n + j] = static_cast<float>(
-            ps[i * n + j] * (double(pg[i * n + j]) - row_dot));
-      }
-    }
-    logits->accumulate_grad(*dx);
-  });
+  return make_node(
+      s, {logits},
+      [logits, s, m, n](const T::Tensor& g) {
+        // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
+        T::pool::Scratch dx({m, n}, /*zero=*/false);
+        const float* pg = g.begin();
+        const float* ps = s.begin();
+        float* d = dx->begin();
+        for (std::size_t i = 0; i < m; ++i) {
+          double row_dot = 0.0;
+          for (std::size_t j = 0; j < n; ++j) {
+            row_dot += double(pg[i * n + j]) * ps[i * n + j];
+          }
+          for (std::size_t j = 0; j < n; ++j) {
+            d[i * n + j] = static_cast<float>(
+                ps[i * n + j] * (double(pg[i * n + j]) - row_dot));
+          }
+        }
+        logits->accumulate_grad(*dx);
+      },
+      op.name(), op.corr());
 }
 
 Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labels) {
@@ -493,6 +520,7 @@ Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labe
   REFFIL_CHECK_MSG(labels.size() == m, "cross_entropy_logits: label count");
   for (std::size_t label : labels) REFFIL_CHECK_MSG(label < k, "label out of range");
 
+  prof::OpSpan ps("ag.cross_entropy");
   T::Tensor log_probs = T::log_softmax_rows(logits->value());
   double loss = 0.0;
   for (std::size_t i = 0; i < m; ++i) loss -= log_probs.at(i * k + labels[i]);
@@ -512,7 +540,8 @@ Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labe
                      }
                      T::scale_inplace(*dx, scale);
                      logits->accumulate_grad(*dx);
-                   });
+                   },
+                   ps.name(), ps.corr());
 }
 
 Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_probs,
@@ -525,6 +554,7 @@ Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_p
   const std::size_t m = student_logits->value().dim(0);
   const std::size_t k = student_logits->value().dim(1);
 
+  prof::OpSpan ps("ag.distill");
   T::Tensor scaled = T::mul_scalar(student_logits->value(), 1.0f / temperature);
   T::Tensor log_q = T::log_softmax_rows(scaled);
   // loss = -(1/m) * sum_ij p_ij log q_ij (constant teacher-entropy term dropped)
@@ -545,12 +575,14 @@ Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_p
                        d[i] = (pq[i] - pp[i]) * scale;
                      }
                      student_logits->accumulate_grad(*dx);
-                   });
+                   },
+                   ps.name(), ps.corr());
 }
 
 Var cosine_similarity(const Var& a, const Var& b) {
   REFFIL_CHECK_MSG(a->value().numel() == b->value().numel(),
                    "cosine_similarity: size mismatch");
+  prof::OpSpan ps("ag.cosine");
   const float* pa = a->value().begin();
   const float* pb = b->value().begin();
   const std::size_t n = a->value().numel();
@@ -591,7 +623,8 @@ Var cosine_similarity(const Var& a, const Var& b) {
           }
           b->accumulate_grad(*db);
         }
-      });
+      },
+      ps.name(), ps.corr());
 }
 
 namespace {
@@ -625,6 +658,7 @@ ConvGeometry conv_geometry(const T::Tensor& input, std::size_t kh, std::size_t k
 // Unfold input into the [Cin*kh*kw, Hout*Wout] column matrix `col` (every
 // element is written, padding as 0, so `col` need not be zeroed on entry).
 void im2col_into(const T::Tensor& input, const ConvGeometry& g, T::Tensor& col) {
+  prof::Span span("im2col", (input.numel() + col.numel()) * sizeof(float));
   const float* pin = input.begin();
   float* pcol = col.begin();
   const std::size_t hw = g.hout * g.wout;
@@ -659,6 +693,7 @@ void im2col_into(const T::Tensor& input, const ConvGeometry& g, T::Tensor& col) 
 // `dinput` must be zero-filled: padding-clipped taps contribute nothing.
 void col2im_into(const T::Tensor& dcol, const ConvGeometry& g,
                  T::Tensor& dinput) {
+  prof::Span span("col2im", (dcol.numel() + dinput.numel()) * sizeof(float));
   const float* pcol = dcol.begin();
   float* pin = dinput.begin();
   const std::size_t hw = g.hout * g.wout;
@@ -701,6 +736,7 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
   }
   const std::size_t hw = geom.hout * geom.wout;
 
+  prof::OpSpan ps("ag.conv2d");
   // The column matrix is the one forward intermediate backward needs, so it
   // is pool-borrowed with shared ownership: the buffer returns to a free
   // list when the graph node dies instead of round-tripping the allocator
@@ -752,7 +788,8 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
           col2im_into(*dcol, geom, *dinput);
           input->accumulate_grad(*dinput);
         }
-      });
+      },
+      ps.name(), ps.corr());
 }
 
 }  // namespace reffil::autograd

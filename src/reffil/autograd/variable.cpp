@@ -4,6 +4,7 @@
 
 #include "reffil/tensor/ops.hpp"
 #include "reffil/util/error.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::autograd {
 
@@ -32,13 +33,15 @@ Var parameter(tensor::Tensor value) {
 }
 
 Var make_node(tensor::Tensor value, std::vector<Var> parents,
-              std::function<void(const tensor::Tensor&)> backward_fn) {
+              std::function<void(const tensor::Tensor&)> backward_fn,
+              const char* op_name, std::uint64_t corr) {
   bool needs_grad = false;
   for (const auto& p : parents) needs_grad = needs_grad || p->requires_grad();
   auto node = std::make_shared<Node>(std::move(value), needs_grad);
   if (needs_grad) {
     node->set_parents(std::move(parents));
     node->set_backward(std::move(backward_fn));
+    node->set_op(op_name, corr);
   }
   return node;
 }
@@ -80,10 +83,16 @@ void backward(const Var& root) {
   topo_sort(root, order);
 
   root->accumulate_grad(tensor::ones(root->value().shape()));
-  // order is post-order (root last); sweep from the root backwards.
+  // order is post-order (root last); sweep from the root backwards. Each
+  // closure runs under a bw: span carrying the forward op's correlation id,
+  // so a trace viewer can pair every backward slice with its forward twin.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward_fn()) node->backward_fn()(node->grad());
+    if (node->backward_fn()) {
+      obs::prof::Span span(node->op_name(), 0, node->corr(),
+                           obs::prof::Kind::kBackward);
+      node->backward_fn()(node->grad());
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -65,6 +66,17 @@ class Node {
     return backward_fn_;
   }
 
+  /// Profiler identity of the forward op that built this node: a static
+  /// string name and the correlation id its OpSpan minted (0 = unprofiled).
+  /// The backward sweep emits a bw: span with the same id so the closure's
+  /// cost attributes to this op.
+  void set_op(const char* name, std::uint64_t corr) {
+    op_name_ = name;
+    corr_ = corr;
+  }
+  const char* op_name() const { return op_name_; }
+  std::uint64_t corr() const { return corr_; }
+
  private:
   tensor::Tensor value_;
   tensor::Tensor grad_;  // empty-shape scalar until first accumulation
@@ -72,6 +84,8 @@ class Node {
   bool requires_grad_;
   std::vector<Var> parents_;
   std::function<void(const tensor::Tensor&)> backward_fn_;
+  const char* op_name_ = "ag.op";
+  std::uint64_t corr_ = 0;
 };
 
 /// Wrap a tensor as a graph leaf.
@@ -85,8 +99,11 @@ Var parameter(tensor::Tensor value);
 void backward(const Var& root);
 
 /// Helper used by ops: create an interior node whose requires_grad is the OR
-/// of its parents'.
+/// of its parents'. `op_name` must have static storage duration (it is the
+/// profiler label for the backward span); `corr` ties the backward span to
+/// the forward OpSpan that minted it.
 Var make_node(tensor::Tensor value, std::vector<Var> parents,
-              std::function<void(const tensor::Tensor&)> backward_fn);
+              std::function<void(const tensor::Tensor&)> backward_fn,
+              const char* op_name = "ag.op", std::uint64_t corr = 0);
 
 }  // namespace reffil::autograd

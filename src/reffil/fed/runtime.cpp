@@ -8,6 +8,7 @@
 #include "reffil/util/error.hpp"
 #include "reffil/util/logging.hpp"
 #include "reffil/util/obs.hpp"
+#include "reffil/util/prof.hpp"
 #include "reffil/util/thread_pool.hpp"
 
 namespace reffil::fed {
@@ -119,7 +120,11 @@ RunResult FederatedRunner::run(Method& method) {
       // The server broadcasts to every selected participant before it can
       // know who will drop, so those bytes are metered against the full
       // selection — including rounds where every participant is later lost.
+      obs::prof::Span bcast_span("fed.broadcast", round_stats.task,
+                                 round_stats.round);
       const std::vector<std::uint8_t> broadcast = method.make_broadcast();
+      bcast_span.set_value(broadcast.size());
+      bcast_span.finish();
       round_stats.bytes_down = broadcast.size() * plan.participants.size();
       result.network.bytes_down += round_stats.bytes_down;
       result.network.messages += plan.participants.size();
@@ -169,6 +174,8 @@ RunResult FederatedRunner::run(Method& method) {
         by_slot[slots[i]].push_back(i);
       }
       const auto train_start = std::chrono::steady_clock::now();
+      obs::prof::Span round_span("fed.train_round", round_stats.task,
+                                 round_stats.round);
       pool.parallel_for(parallelism_, [&](std::size_t slot) {
         for (std::size_t i : by_slot[slot]) {
           const ClientAssignment& assignment = plan.participants[i];
@@ -188,13 +195,19 @@ RunResult FederatedRunner::run(Method& method) {
             job.old_data = &shards[task - 1][assignment.client_id];
           }
           const auto client_start = std::chrono::steady_clock::now();
-          updates[i] = method.train_client(broadcast, job);
+          {
+            obs::prof::Span client_span("fed.client", round_stats.task,
+                                        round_stats.round);
+            updates[i] = method.train_client(broadcast, job);
+            client_span.set_value(updates[i].payload.size());
+          }
           updates[i].client_id = assignment.client_id;
           client_seconds[i] = std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - client_start)
                                   .count();
         }
       });
+      round_span.finish();
       round_stats.train_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         train_start)
@@ -218,7 +231,11 @@ RunResult FederatedRunner::run(Method& method) {
       }
       result.network.bytes_up += round_stats.bytes_up;
       const auto agg_start = std::chrono::steady_clock::now();
-      method.aggregate(updates);
+      {
+        obs::prof::Span agg_span("fed.aggregate", round_stats.task,
+                                 round_stats.round);
+        method.aggregate(updates);
+      }
       round_stats.aggregate_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         agg_start)
@@ -264,6 +281,9 @@ RunResult FederatedRunner::run(Method& method) {
                    .field("wall_s", result.wall_seconds));
     obs::flush_trace();
   }
+  // Persist the op-level profile (no-op when no profile sink is armed) so a
+  // profiled run yields a loadable trace even without a clean process exit.
+  obs::prof::flush();
   return result;
 }
 
@@ -276,6 +296,10 @@ void FederatedRunner::evaluate_task(Method& method, std::size_t task,
 
   const bool tracing = obs::trace_enabled();
   obs::Histogram& eval_time = obs::histogram("fed.eval_seconds");
+  // Eval happens once per task after its last round, so the round coordinate
+  // is the domain count evaluated so far rather than a training round.
+  obs::prof::Span eval_span("fed.eval", static_cast<std::uint32_t>(task),
+                            static_cast<std::uint32_t>(task + 1));
   const auto eval_start = std::chrono::steady_clock::now();
 
   std::size_t total_correct = 0, total_count = 0;

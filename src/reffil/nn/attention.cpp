@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "reffil/util/error.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::nn {
 
@@ -26,6 +27,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim, std::size_t head
 AG::Var MultiHeadSelfAttention::forward(const AG::Var& tokens) const {
   REFFIL_CHECK_MSG(tokens->value().rank() == 2 && tokens->value().dim(1) == dim_,
                    "MHSA expects [T, dim] tokens");
+  obs::prof::Span span("nn.attention");
   const AG::Var q = wq_->forward(tokens);
   const AG::Var k = wk_->forward(tokens);
   const AG::Var v = wv_->forward(tokens);

@@ -4,6 +4,7 @@
 
 #include "reffil/tensor/ops.hpp"
 #include "reffil/util/error.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::nn {
 
@@ -135,6 +136,7 @@ PromptNetOutput PromptNet::forward(const T::Tensor& image,
 
 PromptNetOutput PromptNet::forward_tokens(const AG::Var& tokens,
                                           const std::optional<AG::Var>& prompts) const {
+  obs::prof::Span span("nn.forward");
   std::size_t cls_index = 0;
   AG::Var seq = tokens;
   if (prompts.has_value()) {

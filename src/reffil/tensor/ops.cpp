@@ -5,6 +5,7 @@
 
 #include "reffil/tensor/kernels.hpp"
 #include "reffil/tensor/parallel.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::tensor {
 
@@ -17,6 +18,7 @@ namespace {
 /// result is bitwise identical to the serial loop either way.
 void elementwise_blocks(std::size_t n,
                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  obs::prof::Span span("elementwise", n * sizeof(float));
   if (P::should_parallelize(n, P::kElementwiseThreshold)) {
     P::for_range(n, P::kElementwiseThreshold / 2, fn);
   } else {
@@ -196,8 +198,15 @@ void require_out_shape(const Tensor& out, std::size_t m, std::size_t n,
 // Dispatch helpers assume `out` is already zero-filled; the public *_into
 // wrappers zero it first, while matmul/matmul_nt/matmul_tn construct a fresh
 // zeroed tensor. All paths run the same kernels.hpp row kernels.
+/// Bytes touched by an m*k x k*n product (both inputs plus the output).
+std::uint64_t matmul_bytes(const MatmulDims& d) {
+  return static_cast<std::uint64_t>(d.m * d.k + d.k * d.n + d.m * d.n) *
+         sizeof(float);
+}
+
 void matmul_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
                      const MatmulDims& d) {
+  obs::prof::Span span("matmul", matmul_bytes(d));
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_into(a, b, out);
   } else {
@@ -207,6 +216,7 @@ void matmul_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
 
 void matmul_nt_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
                         const MatmulDims& d) {
+  obs::prof::Span span("matmul_nt", matmul_bytes(d));
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_nt_into(a, b, out);
   } else {
@@ -216,6 +226,7 @@ void matmul_nt_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
 
 void matmul_tn_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
                         const MatmulDims& d) {
+  obs::prof::Span span("matmul_tn", matmul_bytes(d));
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_tn_into(a, b, out);
   } else {
@@ -271,6 +282,7 @@ void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
 Tensor transpose2d(const Tensor& a) {
   require_rank2(a, "transpose2d");
   const std::size_t m = a.dim(0), n = a.dim(1);
+  obs::prof::Span span("transpose2d", 2 * m * n * sizeof(float));
   Tensor out({n, m});
   if (P::should_parallelize(m * n, P::kElementwiseThreshold)) {
     P::transpose2d_into(a, out);
@@ -385,6 +397,7 @@ float cosine_similarity(const Tensor& a, const Tensor& b) {
 Tensor softmax_rows(const Tensor& logits) {
   require_rank2(logits, "softmax_rows");
   const std::size_t m = logits.dim(0), n = logits.dim(1);
+  obs::prof::Span span("softmax_rows", 2 * m * n * sizeof(float));
   Tensor out({m, n});
   // Rows are independent, so the attention score matrices ([T, T] per head)
   // partition cleanly across workers; per-row arithmetic is unchanged.
@@ -413,6 +426,7 @@ Tensor softmax_rows(const Tensor& logits) {
 Tensor log_softmax_rows(const Tensor& logits) {
   require_rank2(logits, "log_softmax_rows");
   const std::size_t m = logits.dim(0), n = logits.dim(1);
+  obs::prof::Span span("log_softmax_rows", 2 * m * n * sizeof(float));
   Tensor out({m, n});
   auto rows = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {

@@ -1,10 +1,13 @@
 #include "reffil/util/obs.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+
+#include "reffil/util/prof.hpp"
 
 namespace reffil::obs {
 
@@ -75,6 +78,41 @@ HistogramStats Histogram::stats() const {
   return s;
 }
 
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.stats = stats();
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[static_cast<std::size_t>(i)] = bucket(i);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (stats.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based fractional rank of the target sample in sorted order.
+  const double rank = q * static_cast<double>(stats.count - 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(seen + n)) {
+      // Samples in bucket b lie in [2^(b-bias-1), 2^(b-bias)); interpolate
+      // by rank position inside the bucket, then clamp to the exact
+      // observed extrema (which also repairs the b==bias zero/nonfinite
+      // catch-all bucket).
+      const double lo = std::ldexp(1.0, b - Histogram::kBucketBias - 1);
+      const double hi = std::ldexp(1.0, b - Histogram::kBucketBias);
+      const double frac =
+          n == 1 ? 0.5
+                 : (rank - static_cast<double>(seen)) / static_cast<double>(n - 1);
+      return std::clamp(lo + (hi - lo) * frac, stats.min, stats.max);
+    }
+    seen += n;
+  }
+  return stats.max;
+}
+
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
@@ -127,7 +165,9 @@ Registry::Snapshot Registry::snapshot() const {
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->stats();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
   return snap;
 }
 
@@ -184,30 +224,35 @@ double ScopedTimer::stop() {
 
 namespace {
 
-void append_json_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+/// Length of the (potential) UTF-8 sequence starting with lead byte `c`;
+/// 0 for bytes that can never lead a sequence (continuations, 0xFE/0xFF).
+std::size_t utf8_seq_len(unsigned char c) {
+  if (c < 0x80) return 1;
+  if (c >= 0xF0 && c <= 0xF4) return 4;
+  if (c >= 0xE0 && c < 0xF0) return 3;
+  if (c >= 0xC2 && c < 0xE0) return 2;  // C0/C1 are always overlong
+  return 0;
+}
+
+/// Validate the multi-byte sequence at s[i..i+len): continuation bytes,
+/// no overlong encodings, no surrogates, <= U+10FFFF.
+bool utf8_seq_valid(std::string_view s, std::size_t i, std::size_t len) {
+  if (i + len > s.size()) return false;
+  std::uint32_t cp = static_cast<unsigned char>(s[i]) &
+                     static_cast<unsigned char>(0xFF >> (len + 1));
+  for (std::size_t j = 1; j < len; ++j) {
+    const unsigned char c = static_cast<unsigned char>(s[i + j]);
+    if ((c & 0xC0) != 0x80) return false;
+    cp = (cp << 6) | (c & 0x3F);
   }
+  if (len == 2) return cp >= 0x80;
+  if (len == 3) return cp >= 0x800 && (cp < 0xD800 || cp > 0xDFFF);
+  return cp >= 0x10000 && cp <= 0x10FFFF;
 }
 
 void append_key(std::string& out, std::string_view key) {
   out += ",\"";
-  append_json_escaped(out, key);
+  json_escape(out, key);
   out += "\":";
 }
 
@@ -235,9 +280,46 @@ void init_trace_from_env() {
 
 }  // namespace
 
+void json_escape(std::string& out, std::string_view s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c < 0x20 || c == 0x7F) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else if (c < 0x80) {
+      out += static_cast<char>(c);
+    } else {
+      const std::size_t len = utf8_seq_len(c);
+      if (len >= 2 && utf8_seq_valid(s, i, len)) {
+        out.append(s.substr(i, len));
+        i += len;
+        continue;
+      }
+      out += "\\ufffd";  // invalid byte: replacement character, not raw junk
+    }
+    ++i;
+  }
+}
+
+void flush_all() {
+  flush_trace();
+  prof::flush();
+}
+
 TraceEvent::TraceEvent(std::string_view type) {
   body_ = "{\"event\":\"";
-  append_json_escaped(body_, type);
+  json_escape(body_, type);
   body_ += '"';
 }
 
@@ -267,7 +349,7 @@ TraceEvent& TraceEvent::field(std::string_view key, double v) {
 TraceEvent& TraceEvent::field(std::string_view key, std::string_view v) {
   append_key(body_, key);
   body_ += '"';
-  append_json_escaped(body_, v);
+  json_escape(body_, v);
   body_ += '"';
   return *this;
 }

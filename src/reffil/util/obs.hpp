@@ -16,6 +16,7 @@
 //    trace_enabled() is a single relaxed atomic load and no event is built.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <chrono>
@@ -60,16 +61,32 @@ struct HistogramStats {
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 };
 
+/// Moments plus the log2 bucket counts, as one coherent copy. quantile()
+/// estimates pXX from the buckets: a sample in bucket i lies in
+/// [2^(i-bias-1), 2^(i-bias)), so the estimator walks buckets to the target
+/// rank and interpolates linearly inside the bucket it lands in, clamped to
+/// the exact observed [min, max]. Error is bounded by the bucket width
+/// (a factor of 2), which is plenty for p50/p95/p99 timing tables.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+  HistogramStats stats;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  double quantile(double q) const;
+};
+
 /// Streaming histogram: count / sum / min / max plus log2-bucketed counts
 /// (bucket i counts samples with exponent i - kBucketBias, i.e. a ~[2^-32,
 /// 2^31] dynamic range — plenty for seconds or bytes).
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
   static constexpr int kBucketBias = 32;
 
   void observe(double v);
   HistogramStats stats() const;
+  /// stats() plus the bucket counts (the Registry::Snapshot payload).
+  HistogramSnapshot snapshot() const;
   std::uint64_t bucket(int i) const {
     return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   }
@@ -99,7 +116,7 @@ class Registry {
   struct Snapshot {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
-    std::map<std::string, HistogramStats> histograms;
+    std::map<std::string, HistogramSnapshot> histograms;
   };
   Snapshot snapshot() const;
 
@@ -189,5 +206,16 @@ void trace(const TraceEvent& event);
 
 /// Flush buffered trace output to disk.
 void flush_trace();
+
+/// Flush every observability sink: the JSONL trace stream and, when armed,
+/// the op-level profiler's Chrome trace (prof.hpp). Registered with
+/// std::atexit at sink init and called from tool error paths, so traces
+/// survive early exits and thrown exceptions.
+void flush_all();
+
+/// Append `s` to `out` with strict JSON string escaping: quotes/backslash,
+/// control characters as \uXXXX, valid UTF-8 passed through, and invalid
+/// UTF-8 bytes replaced with U+FFFD so the output always parses.
+void json_escape(std::string& out, std::string_view s);
 
 }  // namespace reffil::obs

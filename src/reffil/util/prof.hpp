@@ -1,0 +1,176 @@
+// Op-level scoped profiler with Chrome trace-event export.
+//
+// `prof` answers the question the round-level metrics (obs.hpp §7) cannot:
+// *which op inside client_train the time goes to, on which thread*. Scoped
+// spans record {name, thread, start, duration, bytes, correlation id} into
+// per-thread ring buffers; a drain converts them to the Chrome trace-event
+// JSON format (the same format PyTorch's Kineto exports), loadable in
+// chrome://tracing and Perfetto and analyzed offline by tools/reffil_prof.
+//
+// Cost contract:
+//  * Disabled (no sink configured): constructing a Span is ONE relaxed
+//    atomic load — no clock read, no TLS touch, no allocation. A benchmark
+//    guard (BM_ProfSpanDisabled) and the BM_TrainStep <2% regression check
+//    in BENCH_kernels.json hold this line.
+//  * Enabled: two steady_clock reads plus a spinlocked write into the
+//    calling thread's ring. The spinlock is thread-private except while a
+//    drain is reading that buffer, so the hot path never contends.
+//
+// Ring semantics: each thread owns a fixed-capacity ring (default 2^16
+// records, REFFIL_PROFILE_RING or set_ring_capacity override). Overflow
+// overwrites the *oldest* records and bumps the `prof.dropped` obs counter
+// at drain time — output stays well-formed, recent history wins.
+//
+// Activation: set REFFIL_PROFILE=<path> in the environment, or call
+// start(path) (reffil_run --profile does). The trace is written by
+// stop_and_write(), obs::flush_all(), or the std::atexit guard — whichever
+// comes first; writes are idempotent (the ring is drained non-destructively).
+//
+// Correlation ids stitch autograd together: a forward op's OpSpan mints an
+// id, the tape node stores it, and the backward sweep emits a `bw:`-prefixed
+// span carrying the same id — so backward cost attributes to the op that
+// created the closure (tools/reffil_prof does this aggregation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace reffil::obs::prof {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when a profile sink is armed. This is the single relaxed load every
+/// disabled span pays; the flag is latched from REFFIL_PROFILE at static
+/// init, so no call_once sits on the hot path.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// What a ring record is, which decides how the writer renders it.
+enum class Kind : std::uint8_t {
+  kSpan,      ///< complete event ("ph":"X")
+  kBackward,  ///< complete event, name rendered with a "bw:" prefix
+  kCounter,   ///< counter event ("ph":"C", args.value)
+  kInstant,   ///< instant event ("ph":"i", thread scope)
+};
+
+/// Sentinel for "this span carries no task/round coordinates".
+inline constexpr std::uint64_t kNoTaskRound = ~std::uint64_t{0};
+
+/// One ring slot. `name` must point at a string with static storage
+/// duration (string literals); the writer renders it long after the scope
+/// that recorded it has died.
+struct Record {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< relative to the process anchor
+  std::uint64_t dur_ns = 0;
+  std::uint64_t corr = 0;      ///< 0 = none
+  std::uint64_t value = 0;     ///< bytes moved / counter value
+  std::uint64_t task_round = kNoTaskRound;  ///< (task << 32) | round
+  Kind kind = Kind::kSpan;
+};
+
+/// Arm the profiler and remember where stop_and_write()/flush() should put
+/// the Chrome trace. Overrides REFFIL_PROFILE.
+void start(const std::string& path);
+
+/// Disarm, then write the trace to the configured path (no-op without one).
+void stop_and_write();
+
+/// Write the trace to the configured path while staying armed (the atexit /
+/// obs::flush_all hook). No-op when nothing is armed and nothing recorded.
+void flush();
+
+/// Drain every thread's ring (non-destructively) into `path` as Chrome
+/// trace JSON. Returns false if the file cannot be opened. Call at a
+/// quiescent point: records written concurrently with the drain may be
+/// missed (never torn — slots are spinlocked).
+bool write_chrome_trace(const std::string& path);
+
+/// Ring capacity (records) for buffers created *after* this call; existing
+/// thread rings keep their size. Tests use tiny rings to exercise overflow.
+void set_ring_capacity(std::size_t records);
+
+/// Label the calling thread in the trace (Chrome thread_name metadata).
+void set_thread_name(const char* name);
+
+/// Stable small integer identifying the calling thread in the trace.
+std::uint32_t current_tid();
+
+/// Mint a process-unique correlation id (thread-salted, no contention).
+std::uint64_t next_correlation_id();
+
+/// Record a counter sample (rendered as a "ph":"C" event).
+void emit_counter(const char* name, std::uint64_t value);
+
+/// Record an instant event (rendered as thread-scoped "ph":"i").
+void emit_instant(const char* name, std::uint64_t value = 0);
+
+/// Pack task/round coordinates for Record::task_round.
+inline std::uint64_t pack_task_round(std::uint32_t task, std::uint32_t round) {
+  return (std::uint64_t{task} << 32) | round;
+}
+
+/// RAII span. When the profiler is disabled the constructor is one relaxed
+/// load and the destructor a dead branch.
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t bytes = 0,
+                std::uint64_t corr = 0, Kind kind = Kind::kSpan)
+      : armed_(enabled()) {
+    if (!armed_) return;
+    rec_.name = name;
+    rec_.value = bytes;
+    rec_.corr = corr;
+    rec_.kind = kind;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Span carrying federated task/round coordinates (phase breakdown).
+  Span(const char* name, std::uint32_t task, std::uint32_t round)
+      : Span(name) {
+    if (armed_) rec_.task_round = pack_task_round(task, round);
+  }
+
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a byte count discovered mid-scope (e.g. a payload size known
+  /// only after the work ran).
+  void set_value(std::uint64_t v) {
+    if (armed_) rec_.value = v;
+  }
+
+  /// Record now instead of at scope exit (idempotent).
+  void finish();
+
+ private:
+  Record rec_{};
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_;
+};
+
+/// Span for autograd forward ops: mints a correlation id (when armed) that
+/// the tape node stores so the backward sweep can emit a matching bw: span.
+class OpSpan {
+ public:
+  explicit OpSpan(const char* name)
+      : name_(name),
+        corr_(enabled() ? next_correlation_id() : 0),
+        span_(name, 0, corr_) {}
+
+  const char* name() const { return name_; }
+  std::uint64_t corr() const { return corr_; }
+
+ private:
+  const char* name_;
+  std::uint64_t corr_;
+  Span span_;
+};
+
+}  // namespace reffil::obs::prof

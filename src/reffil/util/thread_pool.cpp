@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+
+#include "reffil/util/obs.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace reffil::util {
 
@@ -11,6 +15,30 @@ namespace {
 // This is what makes the pool reentrant: a nested parallel_for sees the flag
 // and runs inline instead of enqueueing work it would then block on.
 thread_local bool tls_in_pool_task = false;
+
+// Records the submit→start wait and current queue depth when a worker picks
+// up a task. The histogram feeds p50/p95/p99 in reports; the profiler gets
+// the same signals as counter/instant events on the worker's timeline.
+void note_dequeue(std::chrono::steady_clock::time_point enqueued,
+                  std::size_t depth_after_pop) {
+  if (obs::metrics_enabled()) {
+    const double wait =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      enqueued)
+            .count();
+    static obs::Histogram& wait_hist =
+        obs::histogram("pool.task_wait_seconds");
+    static obs::Gauge& depth_gauge = obs::gauge("pool.queue_depth");
+    wait_hist.observe(wait);
+    depth_gauge.set(static_cast<double>(depth_after_pop));
+    if (obs::prof::enabled()) {
+      obs::prof::emit_counter("pool.queue_depth", depth_after_pop);
+      obs::prof::emit_instant(
+          "pool.task_wait_us",
+          static_cast<std::uint64_t>(wait * 1e6));
+    }
+  }
+}
 
 }  // namespace
 
@@ -22,7 +50,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -35,18 +63,33 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tls_in_pool_task = true;
+  const std::string worker_name = "pool-worker-" + std::to_string(index);
+  obs::prof::set_thread_name(worker_name.c_str());
+  obs::Gauge& busy_gauge = obs::gauge(worker_name + ".busy_s");
+  double busy_seconds = 0.0;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::size_t depth_after_pop = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      depth_after_pop = queue_.size();
     }
-    task();
+    note_dequeue(task.enqueued, depth_after_pop);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      obs::prof::Span span("pool.task");
+      task.fn();
+    }
+    busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    busy_gauge.set(busy_seconds);
   }
 }
 
@@ -61,6 +104,7 @@ void ThreadPool::run_chunks(ForkJoin& fj) {
     const std::size_t lo = c * fj.n / fj.chunks;
     const std::size_t hi = (c + 1) * fj.n / fj.chunks;
     try {
+      obs::prof::Span span("pool.chunk", 0, fj.corr);
       for (std::size_t i = lo; i < hi; ++i) (*fj.body)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(fj.m);
@@ -84,6 +128,9 @@ void ThreadPool::parallel_for(std::size_t n,
   // when we are already inside a pool task: the nested range becomes part of
   // the caller's chunk, so nesting can never block a worker on itself.
   if (n == 1 || workers_.size() <= 1 || tls_in_pool_task) {
+    // Still the pool layer, just degenerate: a span here keeps profiles from
+    // single-core hosts (or nested calls) showing where fan-out collapsed.
+    obs::prof::Span span("pool.inline");
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -91,15 +138,20 @@ void ThreadPool::parallel_for(std::size_t n,
   fj->n = n;
   fj->chunks = std::min(n, workers_.size() + 1);  // +1: the caller helps
   fj->body = &body;
+  // One correlation id per fork/join: every pool.chunk span it produces —
+  // on workers and on the helping caller — carries it, so an analyzer can
+  // group the scatter back into the parallel_for that issued it.
+  if (obs::prof::enabled()) fj->corr = obs::prof::next_correlation_id();
 
   const std::size_t helpers = fj->chunks - 1;
+  const auto enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool: parallel_for after stop");
     }
     for (std::size_t i = 0; i < helpers; ++i) {
-      queue_.emplace([this, fj] { run_chunks(*fj); });
+      queue_.push(QueuedTask{[this, fj] { run_chunks(*fj); }, enqueued});
     }
   }
   cv_.notify_all();

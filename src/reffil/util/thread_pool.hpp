@@ -18,8 +18,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -54,7 +56,8 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(QueuedTask{[task] { (*task)(); },
+                             std::chrono::steady_clock::now()});
     }
     cv_.notify_one();
     return future;
@@ -67,6 +70,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
+  /// Queue entry: the callable plus its enqueue time, so the dequeuing
+  /// worker can record the submit→start wait.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   /// Shared fork/join state for one parallel_for call. Held by shared_ptr so
   /// a straggler helper task that wakes after every chunk has been claimed
   /// can still touch the counters safely.
@@ -74,6 +84,7 @@ class ThreadPool {
     std::size_t n = 0;
     std::size_t chunks = 0;
     const std::function<void(std::size_t)>* body = nullptr;
+    std::uint64_t corr = 0;  ///< profiler correlation id (0 when disabled)
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> done_chunks{0};
     std::mutex m;
@@ -82,10 +93,10 @@ class ThreadPool {
   };
 
   void run_chunks(ForkJoin& fj);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -8,11 +8,13 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "reffil/fed/runtime.hpp"
 #include "reffil/harness/experiment.hpp"
+#include "reffil/util/json.hpp"
 #include "reffil/util/obs.hpp"
 #include "reffil/util/thread_pool.hpp"
 
@@ -107,7 +109,41 @@ TEST(ObsMetrics, SnapshotContainsRegisteredNames) {
   const auto snap = obs::Registry::instance().snapshot();
   EXPECT_GE(snap.counters.at("test.snap_counter"), 2u);
   EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap_gauge"), 1.25);
-  EXPECT_GE(snap.histograms.at("test.snap_hist").count, 1u);
+  EXPECT_GE(snap.histograms.at("test.snap_hist").stats.count, 1u);
+}
+
+TEST(ObsMetrics, SnapshotExposesBucketsAndQuantiles) {
+  obs::Histogram& h = obs::histogram("test.quantiles");
+  h.reset();
+  // 100 samples spread across two decades: quantiles must land within the
+  // log2-bucket error bound (a factor of 2), clamped to the exact extremes.
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.stats.count, 100u);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 100u);
+
+  const double p50 = snap.quantile(0.50);
+  const double p95 = snap.quantile(0.95);
+  const double p99 = snap.quantile(0.99);
+  EXPECT_GE(p50, 25.0);   // true p50 = 50.5, bucket error <= 2x
+  EXPECT_LE(p50, 101.0);
+  EXPECT_GE(p95, 47.5);   // true p95 = 95.05
+  EXPECT_LE(p95, 100.0);  // clamped to observed max
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(p50, p95);
+
+  // Degenerate cases: empty histogram and single sample.
+  obs::Histogram& empty = obs::histogram("test.quantiles_empty");
+  empty.reset();
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(0.5), 0.0);
+  obs::Histogram& one = obs::histogram("test.quantiles_one");
+  one.reset();
+  one.observe(3.25);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(1.0), 3.25);
 }
 
 TEST(ObsTrace, EventRendersOrderedEscapedJson) {
@@ -120,6 +156,47 @@ TEST(ObsTrace, EventRendersOrderedEscapedJson) {
   EXPECT_EQ(json,
             "{\"event\":\"demo\",\"n\":7,\"neg\":-3,\"x\":1.5,"
             "\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(ObsTrace, EscapingSurvivesRandomByteStrings) {
+  // Fuzz the escaper over arbitrary byte strings (including invalid UTF-8
+  // and every control character) and insist the strict RFC 8259 parser
+  // accepts each rendered event. Seeded, so failures reproduce.
+  std::mt19937 rng(0xC0FFEE);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> len(0, 64);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string raw;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) raw.push_back(static_cast<char>(byte(rng)));
+    const std::string json =
+        obs::TraceEvent("fuzz").field("payload", raw).json();
+    const auto v = util::json::parse(json);  // throws = test failure
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.string_or("event", ""), "fuzz");
+    ASSERT_NE(v.find("payload"), nullptr);
+  }
+}
+
+TEST(ObsTrace, EscapingPreservesUtf8AndReplacesInvalidBytes) {
+  const std::string utf8 = "héllo wörld — ünïcode \xE2\x9C\x93 \xF0\x9F\x9A\x80";
+  const auto round =
+      util::json::parse(obs::TraceEvent("t").field("s", utf8).json());
+  EXPECT_EQ(round.find("s")->as_string(), utf8);
+
+  // \x01 must render as  (and decode back); the stray 0xFF byte and
+  // the truncated 0xC3 lead must each become U+FFFD, not raw garbage.
+  const std::string bad = "a\x01" "b\xFF" "se\xC3(";
+  const auto v =
+      util::json::parse(obs::TraceEvent("t").field("s", bad).json());
+  EXPECT_EQ(v.find("s")->as_string(),
+            std::string("a\x01") + "b\xEF\xBF\xBDse\xEF\xBF\xBD(");
+
+  // Overlong encoding of '/' (C0 AF) is invalid UTF-8: both bytes replaced.
+  const std::string overlong = "x\xC0\xAFy";
+  const auto w =
+      util::json::parse(obs::TraceEvent("t").field("s", overlong).json());
+  EXPECT_EQ(w.find("s")->as_string(), "x\xEF\xBF\xBD\xEF\xBF\xBDy");
 }
 
 namespace {

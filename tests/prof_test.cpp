@@ -1,0 +1,265 @@
+// Profiler tests: trace well-formedness through the strict JSON parser,
+// ring overflow semantics (drop oldest, count drops — never corrupt),
+// correlation-id uniqueness, and nested spans across parallel_for workers.
+// The concurrency tests double as TSan targets: worker threads write their
+// rings while the main thread drains them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reffil/util/json.hpp"
+#include "reffil/util/obs.hpp"
+#include "reffil/util/prof.hpp"
+#include "reffil/util/thread_pool.hpp"
+
+namespace prof = reffil::obs::prof;
+namespace obs = reffil::obs;
+namespace json = reffil::util::json;
+namespace util = reffil::util;
+
+namespace {
+
+std::string temp_trace_path(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("reffil_prof_test_") + tag + ".json"))
+      .string();
+}
+
+/// Arms the profiler for one test and guarantees disarm (and a cleared sink
+/// path, so the atexit flush stays a no-op) even when an ASSERT bails out.
+struct ProfSession {
+  explicit ProfSession(const std::string& path) { prof::start(path); }
+  ~ProfSession() { prof::start(""); }
+};
+
+json::Value load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return json::parse(ss.str());
+}
+
+/// Count ph=="X" events with an exact name.
+std::size_t count_spans(const json::Value& trace, const std::string& name) {
+  std::size_t n = 0;
+  for (const auto& ev : trace.find("traceEvents")->as_array()) {
+    if (ev.string_or("ph", "") == "X" && ev.string_or("name", "") == name) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(Prof, DisabledByDefaultAndOpSpanMintsNoCorr) {
+  ASSERT_FALSE(prof::enabled());
+  prof::Span span("prof_test.noop");  // must be inert
+  prof::OpSpan op("prof_test.noop_op");
+  EXPECT_EQ(op.corr(), 0u);
+  prof::emit_counter("prof_test.noop_ctr", 1);
+  prof::emit_instant("prof_test.noop_inst");
+}
+
+TEST(Prof, TraceIsWellFormedChromeJson) {
+  const std::string path = temp_trace_path("wellformed");
+  ProfSession session(path);
+  prof::set_thread_name("prof-test-main");
+
+  const std::uint64_t corr = prof::next_correlation_id();
+  ASSERT_NE(corr, 0u);
+  {
+    prof::Span outer("prof_test.outer", 4096);
+    {
+      prof::Span inner("prof_test.inner", 0, corr);
+    }
+  }
+  {
+    prof::Span bw("prof_test.fwdop", 0, corr, prof::Kind::kBackward);
+  }
+  {
+    prof::Span phase("prof_test.phase", std::uint32_t{2}, std::uint32_t{3});
+  }
+  {
+    prof::Span twice("prof_test.finish_once");
+    twice.finish();
+    twice.finish();  // idempotent: exactly one record
+  }
+  prof::emit_counter("prof_test.ctr", 42);
+  prof::emit_instant("prof_test.inst", 7);
+  ASSERT_TRUE(prof::write_chrome_trace(path));
+
+  const auto trace = load_trace(path);  // strict parse — throws on corruption
+  ASSERT_TRUE(trace.is_object());
+  EXPECT_EQ(trace.string_or("displayTimeUnit", ""), "ms");
+  const json::Value* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->as_array().empty());
+
+  bool saw_thread_name = false, saw_ctr = false, saw_inst = false;
+  bool saw_outer = false, saw_bw = false, saw_phase = false;
+  for (const auto& ev : events->as_array()) {
+    const std::string ph = ev.string_or("ph", "");
+    const std::string name = ev.string_or("name", "");
+    // Every event carries the Chrome-required keys.
+    ASSERT_FALSE(ph.empty());
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("pid"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    if (ph == "X") {
+      ASSERT_NE(ev.find("ts"), nullptr) << name;
+      ASSERT_NE(ev.find("dur"), nullptr) << name;
+    }
+    if (ph == "M" && name == "thread_name") {
+      if (ev.find("args")->string_or("name", "") == "prof-test-main") {
+        saw_thread_name = true;
+      }
+    }
+    if (ph == "C" && name == "prof_test.ctr") {
+      saw_ctr = true;
+      EXPECT_DOUBLE_EQ(ev.find("args")->number_or("value", -1), 42.0);
+    }
+    if (ph == "i" && name == "prof_test.inst") {
+      saw_inst = true;
+      EXPECT_EQ(ev.string_or("s", ""), "t");
+    }
+    if (ph == "X" && name == "prof_test.outer") {
+      saw_outer = true;
+      EXPECT_DOUBLE_EQ(ev.find("args")->number_or("bytes", -1), 4096.0);
+    }
+    if (ph == "X" && name == "bw:prof_test.fwdop") {
+      saw_bw = true;
+      EXPECT_DOUBLE_EQ(ev.find("args")->number_or("corr", -1),
+                       static_cast<double>(corr));
+    }
+    if (ph == "X" && name == "prof_test.phase") {
+      saw_phase = true;
+      EXPECT_DOUBLE_EQ(ev.find("args")->number_or("task", -1), 2.0);
+      EXPECT_DOUBLE_EQ(ev.find("args")->number_or("round", -1), 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_ctr);
+  EXPECT_TRUE(saw_inst);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_bw);
+  EXPECT_TRUE(saw_phase);
+  EXPECT_EQ(count_spans(trace, "prof_test.inner"), 1u);
+  EXPECT_EQ(count_spans(trace, "prof_test.finish_once"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Prof, RingOverflowDropsOldestAndCountsDrops) {
+  const std::string path = temp_trace_path("overflow");
+  const std::uint64_t dropped_before = obs::counter("prof.dropped").value();
+  prof::set_ring_capacity(16);  // applies to buffers created from here on
+  ProfSession session(path);
+  // Fresh thread → fresh tiny ring. 84 "old" spans then 16 "keep" spans:
+  // the drain must surface exactly the 16 newest and report 84 drops.
+  std::thread writer([] {
+    prof::set_thread_name("ring-test");
+    for (int i = 0; i < 100; ++i) {
+      prof::Span span(i < 84 ? "prof_test.ring_old" : "prof_test.ring_keep");
+    }
+  });
+  writer.join();
+  prof::set_ring_capacity(std::size_t{1} << 16);  // restore for later threads
+  ASSERT_TRUE(prof::write_chrome_trace(path));
+
+  const auto trace = load_trace(path);
+  EXPECT_EQ(count_spans(trace, "prof_test.ring_keep"), 16u);
+  EXPECT_EQ(count_spans(trace, "prof_test.ring_old"), 0u);
+
+  // The obs counter advanced, and the trace itself carries the total in a
+  // prof.dropped counter event so offline analyzers see the truncation.
+  EXPECT_GE(obs::counter("prof.dropped").value(), dropped_before + 84);
+  bool saw_dropped_event = false;
+  for (const auto& ev : trace.find("traceEvents")->as_array()) {
+    if (ev.string_or("ph", "") == "C" &&
+        ev.string_or("name", "") == "prof.dropped") {
+      saw_dropped_event = true;
+      EXPECT_GE(ev.find("args")->number_or("value", 0), 84.0);
+    }
+  }
+  EXPECT_TRUE(saw_dropped_event);
+
+  // A second drain is non-destructive and must not re-count the same drops.
+  const std::uint64_t after_first = obs::counter("prof.dropped").value();
+  ASSERT_TRUE(prof::write_chrome_trace(path));
+  EXPECT_EQ(obs::counter("prof.dropped").value(), after_first);
+  std::remove(path.c_str());
+}
+
+TEST(Prof, CorrelationIdsUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::mutex m;
+  std::set<std::uint64_t> ids;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      local.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        local.push_back(prof::next_correlation_id());
+      }
+      std::lock_guard lock(m);
+      ids.insert(local.begin(), local.end());
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(ids.count(0), 0u);  // 0 is the "no correlation" sentinel
+}
+
+TEST(Prof, NestedSpansAcrossParallelForWorkers) {
+  const std::string path = temp_trace_path("nested");
+  ProfSession session(path);
+  util::ThreadPool pool(3);
+  std::atomic<int> work{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    prof::Span outer("prof_test.nest_outer");
+    // Nested parallel_for runs inline inside the worker's chunk; its spans
+    // land in the same thread's ring while other workers write theirs.
+    pool.parallel_for(4, [&](std::size_t) {
+      prof::Span inner("prof_test.nest_inner");
+      work.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(work.load(), 24);
+  ASSERT_TRUE(prof::write_chrome_trace(path));
+
+  const auto trace = load_trace(path);
+  EXPECT_EQ(count_spans(trace, "prof_test.nest_outer"), 6u);
+  EXPECT_EQ(count_spans(trace, "prof_test.nest_inner"), 24u);
+
+  // Every pool.chunk span from one fork/join carries the same correlation
+  // id; outer bodies ran on more than one thread when the pool fanned out.
+  std::set<std::uint32_t> outer_tids;
+  std::set<double> chunk_corrs;
+  for (const auto& ev : trace.find("traceEvents")->as_array()) {
+    if (ev.string_or("ph", "") != "X") continue;
+    const std::string name = ev.string_or("name", "");
+    if (name == "prof_test.nest_outer") {
+      outer_tids.insert(
+          static_cast<std::uint32_t>(ev.number_or("tid", 0)));
+    } else if (name == "pool.chunk") {
+      if (const json::Value* args = ev.find("args")) {
+        chunk_corrs.insert(args->number_or("corr", 0));
+      }
+    }
+  }
+  EXPECT_GE(outer_tids.size(), 1u);
+  EXPECT_GE(chunk_corrs.size(), 1u);
+  EXPECT_EQ(chunk_corrs.count(0.0), 0u);  // armed fork/joins always mint one
+  std::remove(path.c_str());
+}

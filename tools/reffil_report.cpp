@@ -5,10 +5,12 @@
 //
 //   REFFIL_CACHE_DIR=reffil_cache ./reffil_report > EXPERIMENTS_tables.md
 #include <cstdio>
+#include <exception>
 #include <optional>
 
 #include "reffil/harness/cache.hpp"
 #include "reffil/harness/tables.hpp"
+#include "reffil/util/obs.hpp"
 
 namespace {
 
@@ -108,21 +110,30 @@ void comms_tables() {
     std::printf("**%s** (mean over seeds; MiB of metered payload bytes)\n\n",
                 spec.name.c_str());
     std::printf("| Method | down MiB | up MiB | messages | dropped | wall s | "
-                "train s | aggregate s | eval s |\n");
-    std::printf("|---|---|---|---|---|---|---|---|---|\n");
+                "train s | round p50/p95/p99 ms | aggregate s | eval s |\n");
+    std::printf("|---|---|---|---|---|---|---|---|---|---|\n");
     for (const auto kind : harness::all_method_kinds()) {
       const auto name = harness::method_display_name(kind);
       const auto cell = load_cell(spec, "orig", name);
       if (!cell) {
-        std::printf("| %s | (pending) | | | | | | | |\n", name.c_str());
+        std::printf("| %s | (pending) | | | | | | | | |\n", name.c_str());
         continue;
       }
       const harness::CommsSummary c = cell->comms();
-      std::printf("| %s | %.2f | %.2f | %.0f | %.0f | %.2f | %.2f | %.2f | "
-                  "%.2f |\n",
+      // Per-round train-time quantiles over every cached seed, through the
+      // same log2-bucket estimator the live metrics registry exports.
+      obs::Histogram round_hist;
+      for (const auto& run : cell->runs) {
+        for (const auto& r : run.rounds) round_hist.observe(r.train_seconds);
+      }
+      const auto hs = round_hist.snapshot();
+      std::printf("| %s | %.2f | %.2f | %.0f | %.0f | %.2f | %.2f | "
+                  "%.1f / %.1f / %.1f | %.2f | %.2f |\n",
                   name.c_str(), c.bytes_down / 1048576.0,
                   c.bytes_up / 1048576.0, c.messages, c.dropped_updates,
-                  c.wall_seconds, c.train_seconds, c.aggregate_seconds,
+                  c.wall_seconds, c.train_seconds,
+                  hs.quantile(0.50) * 1e3, hs.quantile(0.95) * 1e3,
+                  hs.quantile(0.99) * 1e3, c.aggregate_seconds,
                   c.eval_seconds);
     }
     std::printf("\n");
@@ -132,12 +143,18 @@ void comms_tables() {
 }  // namespace
 
 int main() {
-  std::printf("<!-- generated by tools/reffil_report from the experiment "
-              "cache -->\n\n");
-  summary_tables(false);
-  summary_tables(true);
-  per_step_tables(false);
-  per_step_tables(true);
-  comms_tables();
+  try {
+    std::printf("<!-- generated by tools/reffil_report from the experiment "
+                "cache -->\n\n");
+    summary_tables(false);
+    summary_tables(true);
+    per_step_tables(false);
+    per_step_tables(true);
+    comms_tables();
+  } catch (const std::exception& e) {
+    obs::flush_all();
+    std::fprintf(stderr, "reffil_report: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -12,14 +12,18 @@
 //   --seed N          experiment seed (default 7)
 //   --scale S         smoke | scaled | full (default scaled)
 //   --dropout P       client dropout probability (default 0)
+//   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
 //   --json            machine-readable output
 //   --list            print datasets and methods, then exit
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "reffil/data/spec.hpp"
 #include "reffil/harness/experiment.hpp"
+#include "reffil/util/obs.hpp"
+#include "reffil/util/prof.hpp"
 
 namespace {
 
@@ -28,7 +32,8 @@ using namespace reffil;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
-               "[--seed N] [--scale smoke|scaled|full] [--dropout P] [--json]\n"
+               "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
+               "[--profile PATH] [--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -64,19 +69,36 @@ void print_json(const fed::RunResult& result) {
   }
   std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
               "\"dropped\":%llu,\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
-              "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f}\n",
+              "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f",
               static_cast<unsigned long long>(result.network.bytes_down),
               static_cast<unsigned long long>(result.network.bytes_up),
               static_cast<unsigned long long>(result.network.messages),
               static_cast<unsigned long long>(result.network.dropped_updates),
               result.wall_seconds, result.train_seconds(),
               result.aggregate_seconds(), result.eval_seconds());
+
+  // Bucket-estimated quantiles for the phase histograms the runner feeds
+  // (satellite: Registry::Snapshot now carries the buckets).
+  const auto snap = obs::Registry::instance().snapshot();
+  std::printf(",\"quantiles\":{");
+  bool first = true;
+  for (const char* name : {"fed.round_train_seconds", "fed.aggregate_seconds",
+                           "fed.eval_seconds", "pool.task_wait_seconds"}) {
+    const auto it = snap.histograms.find(name);
+    if (it == snap.histograms.end() || it->second.stats.count == 0) continue;
+    std::printf("%s\"%s\":{\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f}",
+                first ? "" : ",", name, it->second.quantile(0.50),
+                it->second.quantile(0.95), it->second.quantile(0.99));
+    first = false;
+  }
+  std::printf("}}\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string dataset_name, method_name, order = "orig", scale = "scaled";
+  std::string profile_path;
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
@@ -122,6 +144,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       dropout = std::strtod(v, nullptr);
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      profile_path = v;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -163,6 +189,11 @@ int main(int argc, char** argv) {
                  : scale == "full"  ? harness::Scale::kFull
                                     : harness::Scale::kScaled;
 
+  if (!profile_path.empty()) {
+    obs::prof::set_thread_name("main");
+    obs::prof::start(profile_path);
+  }
+
   const auto scaled_spec = harness::apply_scale(spec, config.scale);
   auto method = harness::make_method(*kind, scaled_spec, config);
   fed::RunConfig run_config{.spec = scaled_spec,
@@ -170,7 +201,21 @@ int main(int argc, char** argv) {
                             .seed = config.seed,
                             .dropout_probability = dropout};
   fed::FederatedRunner runner(run_config);
-  const fed::RunResult result = runner.run(*method);
+  fed::RunResult result;
+  try {
+    result = runner.run(*method);
+  } catch (const std::exception& e) {
+    // Partial traces are still evidence — flush every sink before dying.
+    obs::flush_all();
+    std::fprintf(stderr, "reffil_run: %s\n", e.what());
+    return 1;
+  }
+
+  if (!profile_path.empty()) {
+    obs::prof::stop_and_write();
+    std::fprintf(stderr, "profile written to %s (load in chrome://tracing)\n",
+                 profile_path.c_str());
+  }
 
   if (json) {
     print_json(result);
