@@ -56,4 +56,22 @@ ModelState deserialize_state(util::ByteReader& reader) {
   return state;
 }
 
+bool validate_state_prefix(const std::vector<std::uint8_t>& payload,
+                           std::string* reason) {
+  try {
+    util::ByteReader reader(payload);
+    // Tensor::deserialize rejects non-finite data, so a successful decode
+    // certifies the state is structurally sound AND numerically usable.
+    const ModelState state = deserialize_state(reader);
+    if (state.empty()) {
+      if (reason) *reason = "empty model state";
+      return false;
+    }
+    return true;
+  } catch (const Error& e) {
+    if (reason) *reason = e.what();
+    return false;
+  }
+}
+
 }  // namespace reffil::fed

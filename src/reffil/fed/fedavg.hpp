@@ -2,6 +2,8 @@
 //   theta^{r+1} = sum_m (|D_m| / |D|) * theta_m^r
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "reffil/tensor/tensor.hpp"
@@ -20,5 +22,15 @@ ModelState federated_average(const std::vector<ModelState>& states,
 /// Serialize / deserialize a full model state (used for broadcast payloads).
 void serialize_state(const ModelState& state, util::ByteWriter& writer);
 ModelState deserialize_state(util::ByteReader& reader);
+
+/// Server-side sanity check of one inbound update payload before it reaches
+/// aggregation: the payload must begin with a decodable, non-empty,
+/// all-finite ModelState (every Method's update payload does — method extras
+/// follow the state and are deliberately not inspected here; a corrupt extra
+/// is caught by the runner's aggregate fallback). On failure writes a
+/// human-readable cause into `reason` (when non-null) and returns false —
+/// never throws.
+bool validate_state_prefix(const std::vector<std::uint8_t>& payload,
+                           std::string* reason);
 
 }  // namespace reffil::fed

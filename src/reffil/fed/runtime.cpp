@@ -3,8 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <optional>
 
 #include "reffil/data/partition.hpp"
+#include "reffil/fed/fedavg.hpp"
 #include "reffil/util/error.hpp"
 #include "reffil/util/logging.hpp"
 #include "reffil/util/obs.hpp"
@@ -82,6 +84,13 @@ RunResult FederatedRunner::run(Method& method) {
 
   util::Rng partition_rng(config_.seed ^ 0x9A27171017ULL);
   util::Rng dropout_rng(config_.seed ^ 0xD20D077ULL);
+  // The fault-free path never touches the transport: no framing, no extra
+  // rng streams, no byte overhead — bitwise-identical to a build without it.
+  const bool faults_armed = config_.faults.enabled();
+  std::optional<Transport> transport;
+  if (faults_armed) {
+    transport.emplace(config_.faults, config_.seed ^ 0x7A2A4F0B7ULL);
+  }
   // shards[t][client_id]: client's shard of domain t's training pool.
   std::vector<std::vector<data::Dataset>> shards(spec.domains.size());
 
@@ -125,7 +134,48 @@ RunResult FederatedRunner::run(Method& method) {
       const std::vector<std::uint8_t> broadcast = method.make_broadcast();
       bcast_span.set_value(broadcast.size());
       bcast_span.finish();
-      round_stats.bytes_down = broadcast.size() * plan.participants.size();
+      // Participants whose broadcast delivery failed (armed transport only);
+      // removed from the round after the downlink bytes are metered.
+      std::vector<ClientAssignment> reachable;
+      if (!faults_armed) {
+        round_stats.bytes_down = broadcast.size() * plan.participants.size();
+      } else {
+        obs::prof::Span down_span("fed.transport", round_stats.task,
+                                  round_stats.round);
+        const std::vector<std::uint8_t> framed = Transport::frame(broadcast);
+        for (const auto& assignment : plan.participants) {
+          const Transport::Delivery d = transport->send_broadcast(framed);
+          round_stats.bytes_down += d.bytes_transmitted;
+          round_stats.retries += d.retries;
+          round_stats.bytes_retransmitted += d.bytes_retransmitted;
+          if (tracing && (d.retries != 0 || d.duplicates != 0)) {
+            obs::trace(obs::TraceEvent("fed.retry")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("client", assignment.client_id)
+                           .field("direction", "down")
+                           .field("retries", d.retries)
+                           .field("bytes", d.bytes_retransmitted));
+          }
+          if (d.outcome == Transport::Outcome::kDelivered) {
+            reachable.push_back(assignment);
+          } else {
+            // An unreachable client misses the round whether the broadcast
+            // timed out or exhausted its retry budget — both are straggler
+            // cutoffs from the server's perspective.
+            ++round_stats.timed_out;
+            if (tracing) {
+              obs::trace(obs::TraceEvent("fed.timeout")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", assignment.client_id)
+                             .field("direction", "down")
+                             .field("reason", d.reason));
+            }
+          }
+        }
+        down_span.set_value(round_stats.bytes_down);
+      }
       result.network.bytes_down += round_stats.bytes_down;
       result.network.messages += plan.participants.size();
       if (tracing) {
@@ -136,6 +186,7 @@ RunResult FederatedRunner::run(Method& method) {
                        .field("payload_bytes", broadcast.size())
                        .field("bytes_down", round_stats.bytes_down));
       }
+      if (faults_armed) plan.participants = std::move(reachable);
       // Straggler/dropout simulation: drop participants before training so
       // the federation neither waits for nor aggregates their updates.
       if (config_.dropout_probability > 0.0) {
@@ -155,10 +206,32 @@ RunResult FederatedRunner::run(Method& method) {
           }
         }
         plan.participants = std::move(alive);
-        if (plan.participants.empty()) {  // whole round lost
-          result.rounds.push_back(round_stats);
-          continue;
+      }
+      // Every exit path below accounts the round: the fed.rounds counter,
+      // the per-round fault counters and result.rounds must agree no matter
+      // how the round ends (the lost-round `continue` used to skip the
+      // counter, so fed.rounds drifted from result.rounds.size()).
+      const auto commit_round = [&](const char* lost_reason) {
+        rounds_counter.add(1);
+        if (lost_reason != nullptr && tracing) {
+          obs::trace(obs::TraceEvent("round_lost")
+                         .field("task", task)
+                         .field("round", round)
+                         .field("selected", round_stats.selected)
+                         .field("dropped", round_stats.dropped)
+                         .field("timed_out", round_stats.timed_out)
+                         .field("quarantined", round_stats.quarantined)
+                         .field("reason", lost_reason));
         }
+        result.network.quarantined += round_stats.quarantined;
+        result.network.retries += round_stats.retries;
+        result.network.timed_out += round_stats.timed_out;
+        result.network.bytes_retransmitted += round_stats.bytes_retransmitted;
+        result.rounds.push_back(round_stats);
+      };
+      if (plan.participants.empty()) {  // whole round lost before training
+        commit_round("no participants survived dropout/transport");
+        continue;
       }
 
       std::vector<ClientUpdate> updates(plan.participants.size());
@@ -214,42 +287,136 @@ RunResult FederatedRunner::run(Method& method) {
               .count();
       train_time.observe(round_stats.train_seconds);
 
-      for (std::size_t i = 0; i < updates.size(); ++i) {
-        round_stats.bytes_up += updates[i].payload.size();
-        ++result.network.messages;
-        if (tracing) {
-          obs::trace(obs::TraceEvent("client_train")
-                         .field("task", task)
-                         .field("round", round)
-                         .field("client", plan.participants[i].client_id)
-                         .field("group", to_string(plan.participants[i].group))
-                         .field("slot", slots[i])
-                         .field("wall_s", client_seconds[i])
-                         .field("samples", updates[i].num_samples)
-                         .field("bytes_up", updates[i].payload.size()));
+      // Uplink: meter each update — through the fault transport when armed,
+      // collecting only validated survivors for aggregation. The per-client
+      // `client_train` trace carries the metered wire bytes so trace sums
+      // still reconcile exactly with NetworkStats under retries/duplicates.
+      std::vector<ClientUpdate> accepted;
+      if (faults_armed) accepted.reserve(updates.size());
+      {
+        std::optional<obs::prof::Span> up_span;
+        if (faults_armed) {
+          up_span.emplace("fed.transport", round_stats.task, round_stats.round);
+        }
+        for (std::size_t i = 0; i < updates.size(); ++i) {
+          std::uint64_t wire_bytes = updates[i].payload.size();
+          bool delivered = true;
+          if (faults_armed) {
+            Transport::Delivery d =
+                transport->send_update(updates[i].payload,
+                                       &validate_state_prefix);
+            wire_bytes = d.bytes_transmitted;
+            round_stats.retries += d.retries;
+            round_stats.bytes_retransmitted += d.bytes_retransmitted;
+            if (tracing && (d.retries != 0 || d.duplicates != 0)) {
+              obs::trace(obs::TraceEvent("fed.retry")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", plan.participants[i].client_id)
+                             .field("direction", "up")
+                             .field("retries", d.retries)
+                             .field("bytes", d.bytes_retransmitted));
+            }
+            switch (d.outcome) {
+              case Transport::Outcome::kDelivered:
+                // A poisoned-at-source payload that still validated is
+                // delivered as the damaged bytes the server actually saw.
+                if (!d.payload.empty()) updates[i].payload = std::move(d.payload);
+                break;
+              case Transport::Outcome::kTimedOut:
+                delivered = false;
+                ++round_stats.timed_out;
+                if (tracing) {
+                  obs::trace(obs::TraceEvent("fed.timeout")
+                                 .field("task", task)
+                                 .field("round", round)
+                                 .field("client", plan.participants[i].client_id)
+                                 .field("direction", "up")
+                                 .field("reason", d.reason));
+                }
+                break;
+              case Transport::Outcome::kQuarantined:
+                delivered = false;
+                ++round_stats.quarantined;
+                if (tracing) {
+                  obs::trace(obs::TraceEvent("fed.quarantine")
+                                 .field("task", task)
+                                 .field("round", round)
+                                 .field("client", plan.participants[i].client_id)
+                                 .field("reason", d.reason));
+                }
+                break;
+            }
+          }
+          round_stats.bytes_up += wire_bytes;
+          ++result.network.messages;
+          if (tracing) {
+            obs::trace(obs::TraceEvent("client_train")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("client", plan.participants[i].client_id)
+                           .field("group", to_string(plan.participants[i].group))
+                           .field("slot", slots[i])
+                           .field("wall_s", client_seconds[i])
+                           .field("samples", updates[i].num_samples)
+                           .field("bytes_up", wire_bytes));
+          }
+          if (faults_armed && delivered) {
+            accepted.push_back(std::move(updates[i]));
+          }
         }
       }
       result.network.bytes_up += round_stats.bytes_up;
+      if (faults_armed && accepted.empty()) {
+        // Every survivor of dropout was then lost in transit: degrade
+        // gracefully by carrying the previous global state into next round.
+        commit_round("every update timed out or was quarantined");
+        continue;
+      }
       const auto agg_start = std::chrono::steady_clock::now();
+      bool aggregated = true;
       {
         obs::prof::Span agg_span("fed.aggregate", round_stats.task,
                                  round_stats.round);
-        method.aggregate(updates);
+        if (!faults_armed) {
+          method.aggregate(updates);
+        } else {
+          // validate_state_prefix certifies the leading ModelState only; a
+          // corrupt method-specific extra can still surface here. Quarantine
+          // the whole batch rather than crash — the global state is simply
+          // carried forward, exactly as for a fully-dropped round.
+          try {
+            method.aggregate(accepted);
+          } catch (const Error& e) {
+            aggregated = false;
+            round_stats.quarantined +=
+                static_cast<std::uint32_t>(accepted.size());
+            if (tracing) {
+              obs::trace(obs::TraceEvent("fed.quarantine")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("updates", accepted.size())
+                             .field("reason", std::string("aggregate failed: ") +
+                                                  e.what()));
+            }
+          }
+        }
       }
       round_stats.aggregate_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         agg_start)
               .count();
       aggregate_time.observe(round_stats.aggregate_seconds);
-      if (tracing) {
+      if (tracing && aggregated) {
         obs::trace(obs::TraceEvent("aggregate")
                        .field("task", task)
                        .field("round", round)
-                       .field("updates", updates.size())
+                       .field("updates", faults_armed ? accepted.size()
+                                                      : updates.size())
                        .field("wall_s", round_stats.aggregate_seconds));
       }
-      rounds_counter.add(1);
-      result.rounds.push_back(round_stats);
+      commit_round(aggregated ? nullptr
+                              : "aggregation rejected the surviving updates");
     }
 
     evaluate_task(method, task, result);
@@ -268,6 +435,15 @@ RunResult FederatedRunner::run(Method& method) {
   obs::count("fed.bytes_down", result.network.bytes_down);
   obs::count("fed.bytes_up", result.network.bytes_up);
   obs::count("fed.dropped_updates", result.network.dropped_updates);
+  if (result.network.quarantined != 0) {
+    obs::count("fed.quarantined", result.network.quarantined);
+  }
+  if (result.network.retries != 0) {
+    obs::count("fed.retries", result.network.retries);
+  }
+  if (result.network.timed_out != 0) {
+    obs::count("fed.timed_out", result.network.timed_out);
+  }
   if (tracing) {
     obs::trace(obs::TraceEvent("run_end")
                    .field("method", result.method_name)
@@ -276,6 +452,11 @@ RunResult FederatedRunner::run(Method& method) {
                    .field("bytes_up", result.network.bytes_up)
                    .field("messages", result.network.messages)
                    .field("dropped_updates", result.network.dropped_updates)
+                   .field("quarantined", result.network.quarantined)
+                   .field("retries", result.network.retries)
+                   .field("timed_out", result.network.timed_out)
+                   .field("bytes_retransmitted",
+                          result.network.bytes_retransmitted)
                    .field("avg_accuracy", result.average_accuracy())
                    .field("last_accuracy", result.last_accuracy())
                    .field("wall_s", result.wall_seconds));

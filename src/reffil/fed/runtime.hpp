@@ -18,6 +18,7 @@
 #include "reffil/data/spec.hpp"
 #include "reffil/fed/method.hpp"
 #include "reffil/fed/scheduler.hpp"
+#include "reffil/fed/transport.hpp"
 
 namespace reffil::fed {
 
@@ -41,6 +42,12 @@ struct RunConfig {
   /// round (straggler/dropout simulation). Rounds where every participant
   /// drops are skipped entirely (no aggregation).
   double dropout_probability = 0.0;
+  /// Simulated transport faults (corruption, duplication, latency/deadline,
+  /// retry budget — see fed/transport.hpp). The default profile is inert:
+  /// the runner bypasses the transport entirely and the run is
+  /// bitwise-identical to a transport-free one. All fault randomness derives
+  /// from `seed`, so armed runs are exactly reproducible too.
+  FaultProfile faults;
   /// Optional observer invoked after each task's evaluation, while the
   /// method is still in its prepared-for-eval state (used by the figure
   /// benches to extract features/embeddings per task step).
@@ -61,10 +68,15 @@ struct TaskResult {
 };
 
 struct NetworkStats {
-  std::uint64_t bytes_down = 0;  ///< server -> clients
-  std::uint64_t bytes_up = 0;    ///< clients -> server
-  std::uint64_t messages = 0;
+  std::uint64_t bytes_down = 0;  ///< server -> clients (all delivery attempts)
+  std::uint64_t bytes_up = 0;    ///< clients -> server (all delivery attempts)
+  std::uint64_t messages = 0;    ///< logical messages (retries are not new ones)
   std::uint64_t dropped_updates = 0;  ///< client dropouts (see RunConfig)
+  // Transport-fault accounting — all zero unless RunConfig::faults is armed.
+  std::uint64_t quarantined = 0;  ///< inbound updates rejected by validation
+  std::uint64_t retries = 0;      ///< retransmissions, both directions
+  std::uint64_t timed_out = 0;    ///< deliveries lost to the round deadline
+  std::uint64_t bytes_retransmitted = 0;  ///< wire bytes beyond first attempts
 };
 
 /// Timing / traffic breakdown of one communication round. The sums over all
@@ -79,6 +91,12 @@ struct RoundStats {
   std::uint64_t bytes_up = 0;
   double train_seconds = 0.0;      ///< wall time of the parallel client block
   double aggregate_seconds = 0.0;  ///< server-side aggregation wall time
+  // Transport-fault accounting (see NetworkStats; sums over rounds reconcile
+  // exactly with the run totals).
+  std::uint32_t quarantined = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t timed_out = 0;
+  std::uint64_t bytes_retransmitted = 0;
 };
 
 struct RunResult {

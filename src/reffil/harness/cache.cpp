@@ -28,11 +28,15 @@ bool cache_enabled() {
 std::string cache_key(const std::string& dataset_name,
                       const std::string& domain_order_tag,
                       const std::string& method_name, std::uint64_t seed,
-                      const std::string& scale_tag) {
+                      const std::string& scale_tag,
+                      const std::string& fault_tag) {
   // FNV-1a over the identifying string keeps file names short and safe.
+  // The fault tag is appended only when non-empty so zero-fault runs keep
+  // the exact keys (and thus cached cells) they had before faults existed.
   const std::string id = dataset_name + "|" + domain_order_tag + "|" +
                          method_name + "|" + std::to_string(seed) + "|" +
-                         scale_tag;
+                         scale_tag +
+                         (fault_tag.empty() ? "" : "|" + fault_tag);
   std::uint64_t hash = 1469598103934665603ULL;
   for (unsigned char c : id) {
     hash ^= c;
@@ -64,6 +68,12 @@ void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer
   // v1 stopped here: dropped_updates was never written, so cache hits
   // silently zeroed the dropout statistic on the way back out.
   writer.write_u64(result.network.dropped_updates);
+  // v2 stopped here: a cache hit zeroed every transport-fault counter, so an
+  // armed run replayed from cache looked indistinguishable from a clean one.
+  writer.write_u64(result.network.quarantined);
+  writer.write_u64(result.network.retries);
+  writer.write_u64(result.network.timed_out);
+  writer.write_u64(result.network.bytes_retransmitted);
   writer.write_f64(result.wall_seconds);
   writer.write_u64(result.rounds.size());
   for (const auto& round : result.rounds) {
@@ -75,6 +85,10 @@ void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer
     writer.write_u64(round.bytes_up);
     writer.write_f64(round.train_seconds);
     writer.write_f64(round.aggregate_seconds);
+    writer.write_u32(round.quarantined);
+    writer.write_u32(round.retries);
+    writer.write_u32(round.timed_out);
+    writer.write_u64(round.bytes_retransmitted);
   }
 }
 
@@ -113,6 +127,10 @@ fed::RunResult deserialize_run_result(util::ByteReader& reader) {
   result.network.bytes_up = reader.read_u64();
   result.network.messages = reader.read_u64();
   result.network.dropped_updates = reader.read_u64();
+  result.network.quarantined = reader.read_u64();
+  result.network.retries = reader.read_u64();
+  result.network.timed_out = reader.read_u64();
+  result.network.bytes_retransmitted = reader.read_u64();
   result.wall_seconds = reader.read_f64();
   const auto num_rounds = reader.read_u64();
   if (num_rounds > 1000000) throw SerializationError("implausible round count");
@@ -127,6 +145,10 @@ fed::RunResult deserialize_run_result(util::ByteReader& reader) {
     round.bytes_up = reader.read_u64();
     round.train_seconds = reader.read_f64();
     round.aggregate_seconds = reader.read_f64();
+    round.quarantined = reader.read_u32();
+    round.retries = reader.read_u32();
+    round.timed_out = reader.read_u32();
+    round.bytes_retransmitted = reader.read_u64();
     result.rounds.push_back(round);
   }
   return result;

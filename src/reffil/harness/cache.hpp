@@ -27,15 +27,20 @@ bool cache_enabled();
 /// garbage. Bump kCacheVersion whenever the RunResult encoding changes.
 /// History: v1 (headerless) lost network.dropped_updates on every cache hit;
 /// v2 added the header, dropped_updates, per-task eval_seconds and the
-/// per-round stats vector.
+/// per-round stats vector; v3 added the transport-fault counters
+/// (quarantined/retries/timed_out/bytes_retransmitted at both granularities).
 inline constexpr std::uint32_t kCacheMagic = 0x4C464652u;  // "RFFL"
-inline constexpr std::uint32_t kCacheVersion = 2;
+inline constexpr std::uint32_t kCacheVersion = 3;
 
-/// Stable key for one experiment cell.
+/// Stable key for one experiment cell. `fault_tag` is the canonical
+/// FaultProfile::tag() of the run — empty for the zero-fault default, so
+/// every pre-existing cell key is unchanged; an armed profile hashes to a
+/// distinct key instead of aliasing the clean run's cached result.
 std::string cache_key(const std::string& dataset_name,
                       const std::string& domain_order_tag,
                       const std::string& method_name, std::uint64_t seed,
-                      const std::string& scale_tag);
+                      const std::string& scale_tag,
+                      const std::string& fault_tag = "");
 
 std::optional<fed::RunResult> cache_load(const std::string& key);
 void cache_store(const std::string& key, const fed::RunResult& result);

@@ -123,8 +123,10 @@ fed::RunResult run_experiment(const data::DatasetSpec& spec, MethodKind kind,
                               const ExperimentConfig& config) {
   const data::DatasetSpec scaled = apply_scale(spec, config.scale);
   auto method = make_method(kind, scaled, config);
-  fed::FederatedRunner runner(
-      {.spec = scaled, .parallelism = config.parallelism, .seed = config.seed});
+  fed::FederatedRunner runner({.spec = scaled,
+                               .parallelism = config.parallelism,
+                               .seed = config.seed,
+                               .faults = config.faults});
   return runner.run(*method);
 }
 
@@ -134,8 +136,10 @@ fed::RunResult run_reffil_variant(const data::DatasetSpec& spec,
   const data::DatasetSpec scaled = apply_scale(spec, config.scale);
   auto method = std::make_unique<core::RefFiLMethod>(
       base_method_config(scaled, config), reffil);
-  fed::FederatedRunner runner(
-      {.spec = scaled, .parallelism = config.parallelism, .seed = config.seed});
+  fed::FederatedRunner runner({.spec = scaled,
+                               .parallelism = config.parallelism,
+                               .seed = config.seed,
+                               .faults = config.faults});
   return runner.run(*method);
 }
 

@@ -45,6 +45,10 @@ struct ExperimentConfig {
   Scale scale = Scale::kScaled;
   /// RefFiL component switches (Table 5 ablations; ignored by baselines).
   core::RefFiLConfig reffil;
+  /// Transport fault simulation (inert by default; see fed/transport.hpp).
+  /// Armed profiles change the cache key via FaultProfile::tag(), so a
+  /// faulted cell never aliases a clean cached run.
+  fed::FaultProfile faults;
 };
 
 /// Build a method instance for the given dataset.

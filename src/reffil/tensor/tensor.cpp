@@ -130,6 +130,17 @@ Tensor Tensor::deserialize(util::ByteReader& reader) {
   if (data.size() != shape_numel(shape)) {
     throw SerializationError("tensor payload does not match shape");
   }
+  // A corrupt-but-well-framed payload full of NaN/Inf would decode cleanly
+  // and silently poison every aggregation it touches; non-finite data is
+  // rejected at the deserialization boundary instead. No legitimate payload
+  // carries non-finite values (weights are gradient-clipped, Fisher terms
+  // are finite sums), so this is a pure corruption check.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!std::isfinite(data[i])) {
+      throw SerializationError("tensor payload has non-finite value at index " +
+                               std::to_string(i));
+    }
+  }
   return Tensor(std::move(shape), std::move(data));
 }
 

@@ -88,6 +88,10 @@ fed::RunResult sample_result() {
   result.network.bytes_up = 900;
   result.network.messages = 42;
   result.network.dropped_updates = 5;
+  result.network.quarantined = 3;
+  result.network.retries = 7;
+  result.network.timed_out = 2;
+  result.network.bytes_retransmitted = 123;
   result.wall_seconds = 1.5;
   for (std::uint32_t r = 0; r < 3; ++r) {
     fed::RoundStats round;
@@ -99,6 +103,10 @@ fed::RunResult sample_result() {
     round.bytes_up = 280 + r;
     round.train_seconds = 0.5 + r;
     round.aggregate_seconds = 0.01 * (r + 1);
+    round.quarantined = r;
+    round.retries = 2 * r + 1;
+    round.timed_out = r;
+    round.bytes_retransmitted = 40 + r;
     result.rounds.push_back(round);
   }
   return result;
@@ -148,6 +156,11 @@ TEST(RunResultSerialization, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.network.bytes_up, original.network.bytes_up);
   EXPECT_EQ(back.network.messages, original.network.messages);
   EXPECT_EQ(back.network.dropped_updates, original.network.dropped_updates);
+  EXPECT_EQ(back.network.quarantined, original.network.quarantined);
+  EXPECT_EQ(back.network.retries, original.network.retries);
+  EXPECT_EQ(back.network.timed_out, original.network.timed_out);
+  EXPECT_EQ(back.network.bytes_retransmitted,
+            original.network.bytes_retransmitted);
   EXPECT_DOUBLE_EQ(back.wall_seconds, original.wall_seconds);
   ASSERT_EQ(back.rounds.size(), original.rounds.size());
   for (std::size_t r = 0; r < back.rounds.size(); ++r) {
@@ -160,6 +173,11 @@ TEST(RunResultSerialization, RoundTripPreservesEveryField) {
                      original.rounds[r].train_seconds);
     EXPECT_DOUBLE_EQ(back.rounds[r].aggregate_seconds,
                      original.rounds[r].aggregate_seconds);
+    EXPECT_EQ(back.rounds[r].quarantined, original.rounds[r].quarantined);
+    EXPECT_EQ(back.rounds[r].retries, original.rounds[r].retries);
+    EXPECT_EQ(back.rounds[r].timed_out, original.rounds[r].timed_out);
+    EXPECT_EQ(back.rounds[r].bytes_retransmitted,
+              original.rounds[r].bytes_retransmitted);
   }
 }
 

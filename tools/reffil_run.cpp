@@ -12,6 +12,9 @@
 //   --seed N          experiment seed (default 7)
 //   --scale S         smoke | scaled | full (default scaled)
 //   --dropout P       client dropout probability (default 0)
+//   --fault-profile S transport fault spec, comma-separated key=value pairs
+//                     (corrupt=P,poison=P,dup=P,latency=S,jitter=S,deadline=S,
+//                     retries=N,backoff=S) — see fed/transport.hpp
 //   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
 //   --json            machine-readable output
 //   --list            print datasets and methods, then exit
@@ -33,7 +36,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
                "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
-               "[--profile PATH] [--json]\n"
+               "[--fault-profile SPEC] [--profile PATH] [--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -68,12 +71,19 @@ void print_json(const fed::RunResult& result) {
     std::printf("]}");
   }
   std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
-              "\"dropped\":%llu,\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
+              "\"dropped\":%llu,\"quarantined\":%llu,\"retries\":%llu,"
+              "\"timed_out\":%llu,\"bytes_retransmitted\":%llu,"
+              "\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
               "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f",
               static_cast<unsigned long long>(result.network.bytes_down),
               static_cast<unsigned long long>(result.network.bytes_up),
               static_cast<unsigned long long>(result.network.messages),
               static_cast<unsigned long long>(result.network.dropped_updates),
+              static_cast<unsigned long long>(result.network.quarantined),
+              static_cast<unsigned long long>(result.network.retries),
+              static_cast<unsigned long long>(result.network.timed_out),
+              static_cast<unsigned long long>(
+                  result.network.bytes_retransmitted),
               result.wall_seconds, result.train_seconds(),
               result.aggregate_seconds(), result.eval_seconds());
 
@@ -98,7 +108,7 @@ void print_json(const fed::RunResult& result) {
 
 int main(int argc, char** argv) {
   std::string dataset_name, method_name, order = "orig", scale = "scaled";
-  std::string profile_path;
+  std::string profile_path, fault_spec;
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
@@ -144,6 +154,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       dropout = std::strtod(v, nullptr);
+    } else if (arg == "--fault-profile") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      fault_spec = v;
     } else if (arg == "--profile") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -160,10 +174,18 @@ int main(int argc, char** argv) {
   data::DatasetSpec spec;
   bool found = false;
   for (const auto& candidate : data::all_dataset_specs()) {
-    if (candidate.name == dataset_name) {
-      spec = candidate;
-      found = true;
+    if (candidate.name != dataset_name) continue;
+    if (found) {
+      // The lookup used to keep scanning, so a duplicated registry name
+      // silently resolved to whichever spec happened to be listed last.
+      std::fprintf(stderr,
+                   "dataset '%s' appears more than once in the spec registry; "
+                   "refusing to guess which one you meant\n",
+                   dataset_name.c_str());
+      return 2;
     }
+    spec = candidate;
+    found = true;
   }
   if (!found) {
     std::fprintf(stderr, "unknown dataset '%s' (see --list)\n",
@@ -194,12 +216,23 @@ int main(int argc, char** argv) {
     obs::prof::start(profile_path);
   }
 
+  fed::FaultProfile faults;
+  if (!fault_spec.empty()) {
+    try {
+      faults = fed::FaultProfile::parse(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --fault-profile: %s\n", e.what());
+      return 2;
+    }
+  }
+
   const auto scaled_spec = harness::apply_scale(spec, config.scale);
   auto method = harness::make_method(*kind, scaled_spec, config);
   fed::RunConfig run_config{.spec = scaled_spec,
                             .parallelism = config.parallelism,
                             .seed = config.seed,
-                            .dropout_probability = dropout};
+                            .dropout_probability = dropout,
+                            .faults = faults};
   fed::FederatedRunner runner(run_config);
   fed::RunResult result;
   try {
@@ -232,6 +265,14 @@ int main(int argc, char** argv) {
     if (result.network.dropped_updates != 0) {
       dropped_note = "  (" + std::to_string(result.network.dropped_updates) +
                      " dropped updates)";
+    }
+    if (result.network.quarantined != 0 || result.network.retries != 0 ||
+        result.network.timed_out != 0) {
+      dropped_note += "  [faults: " +
+                      std::to_string(result.network.quarantined) +
+                      " quarantined, " +
+                      std::to_string(result.network.retries) + " retries, " +
+                      std::to_string(result.network.timed_out) + " timed out]";
     }
     std::printf("Avg %.2f%%  Last %.2f%%  traffic %.1f MiB down / %.1f MiB up"
                 "%s  wall %.1fs (train %.1fs, aggregate %.1fs, eval %.1fs)\n",
