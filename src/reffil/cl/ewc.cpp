@@ -1,6 +1,7 @@
 #include "reffil/cl/ewc.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "reffil/autograd/ops.hpp"
 #include "reffil/tensor/ops.hpp"
@@ -110,6 +111,23 @@ void EwcMethod::read_update_extras(util::ByteReader& reader,
     pending_fisher_weights_.push_back(reader.read_f64());
   }
   MethodBase::read_update_extras(reader, update);
+}
+
+bool EwcMethod::validate_update_extras(util::ByteReader& reader,
+                                       std::string* reason) const {
+  // Read-only mirror of read_update_extras: flag, then (optionally) a fisher
+  // state and its sample weight. Decode failures throw and are turned into a
+  // quarantine by the caller.
+  const bool has_fisher = reader.read_u32() != 0;
+  if (has_fisher) {
+    (void)fed::deserialize_state(reader);
+    const double weight = reader.read_f64();
+    if (!std::isfinite(weight) || weight < 0.0) {
+      if (reason) *reason = "EWC fisher weight not finite and non-negative";
+      return false;
+    }
+  }
+  return MethodBase::validate_update_extras(reader, reason);
 }
 
 void EwcMethod::after_aggregate() {}

@@ -32,6 +32,8 @@ class EwcMethod : public MethodBase {
                            const fed::TrainJob& job) override;
   void read_update_extras(util::ByteReader& reader,
                           const fed::ClientUpdate& update) override;
+  bool validate_update_extras(util::ByteReader& reader,
+                              std::string* reason) const override;
   void post_backward(Replica& replica, const fed::TrainJob& job,
                      std::size_t slot) override;
   void after_aggregate() override;

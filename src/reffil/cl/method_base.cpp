@@ -161,6 +161,71 @@ fed::ClientUpdate MethodBase::train_client(
   return update;
 }
 
+bool MethodBase::validate_update_extras(util::ByteReader& reader,
+                                        std::string* reason) const {
+  if (!reader.exhausted()) {
+    if (reason) {
+      *reason = std::to_string(reader.remaining()) +
+                " trailing bytes after the model state";
+    }
+    return false;
+  }
+  return true;
+}
+
+fed::UpdateValidator MethodBase::update_validator() const {
+  return [this](const std::vector<std::uint8_t>& payload, std::string* reason) {
+    try {
+      util::ByteReader reader(payload);
+      const fed::ModelState state = fed::deserialize_state(reader);
+      if (state.empty()) {
+        if (reason) *reason = "empty model state";
+        return false;
+      }
+      return validate_update_extras(reader, reason);
+    } catch (const Error& e) {
+      if (reason) *reason = e.what();
+      return false;
+    }
+  };
+}
+
+// Folds each arriving update straight into a ShardedFedAvg accumulator, so
+// server memory during aggregation is O(shards x model) rather than
+// O(cohort x model). Extras hooks run per update in arrival order; finish()
+// commits the averaged state and fires after_aggregate(), mirroring one
+// batch aggregate() call.
+class MethodBase::StreamingSink : public fed::AggregationSink {
+ public:
+  StreamingSink(MethodBase& method, std::size_t num_shards)
+      : method_(method), acc_(num_shards) {}
+
+  void add(const fed::ClientUpdate& update) override {
+    util::ByteReader reader(update.payload);
+    const fed::ModelState state = fed::deserialize_state(reader);
+    method_.read_update_extras(reader, update);
+    acc_.add(state, static_cast<double>(update.num_samples));
+  }
+
+  std::size_t count() const override { return acc_.count(); }
+
+  void finish() override {
+    obs::count("cl.aggregations");
+    obs::count("cl.updates_aggregated", acc_.count());
+    method_.global_state_ = acc_.finish();
+    method_.after_aggregate();
+  }
+
+ private:
+  MethodBase& method_;
+  fed::ShardedFedAvg acc_;
+};
+
+std::unique_ptr<fed::AggregationSink> MethodBase::begin_streaming_aggregate(
+    std::size_t num_shards) {
+  return std::make_unique<StreamingSink>(*this, num_shards);
+}
+
 void MethodBase::aggregate(const std::vector<fed::ClientUpdate>& updates) {
   REFFIL_CHECK_MSG(!updates.empty(), "aggregate: no updates");
   obs::count("cl.aggregations");

@@ -58,6 +58,9 @@ class MethodBase : public fed::Method {
   fed::ClientUpdate train_client(const std::vector<std::uint8_t>& broadcast,
                                  const fed::TrainJob& job) override;
   void aggregate(const std::vector<fed::ClientUpdate>& updates) override;
+  fed::UpdateValidator update_validator() const override;
+  std::unique_ptr<fed::AggregationSink> begin_streaming_aggregate(
+      std::size_t num_shards) override;
   void prepare_eval() override;
   std::size_t predict(std::size_t worker_slot,
                       const tensor::Tensor& image) override;
@@ -86,6 +89,14 @@ class MethodBase : public fed::Method {
                                    const fed::TrainJob&) {}
   /// Parse client extras on the server during aggregation.
   virtual void read_update_extras(util::ByteReader&, const fed::ClientUpdate&);
+  /// Structurally check the update extras that follow the model state,
+  /// WITHOUT mutating any server state — update_validator() runs this on the
+  /// transport before the payload is accepted, so a reject here quarantines
+  /// the update before read_update_extras ever sees it. The default requires
+  /// the reader to be exhausted (no extras). Overrides must consume the
+  /// extras exactly and return false (with a reason) on anything malformed.
+  virtual bool validate_update_extras(util::ByteReader& reader,
+                                      std::string* reason) const;
   /// Called after FedAvg each round (e.g. prompt clustering).
   virtual void after_aggregate() {}
 
@@ -128,6 +139,12 @@ class MethodBase : public fed::Method {
   fed::ModelState global_state_;
   std::vector<std::unique_ptr<Replica>> workers_;
   std::size_t current_task_ = 0;
+
+ private:
+  // Streaming ShardedFedAvg adapter (defined in the .cpp); a nested class so
+  // it can drive read_update_extras / after_aggregate and commit the global
+  // state without widening the protected surface.
+  class StreamingSink;
 };
 
 }  // namespace reffil::cl

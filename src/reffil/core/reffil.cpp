@@ -300,6 +300,29 @@ void RefFiLMethod::read_update_extras(util::ByteReader& reader,
   cl::MethodBase::read_update_extras(reader, update);
 }
 
+bool RefFiLMethod::validate_update_extras(util::ByteReader& reader,
+                                          std::string* reason) const {
+  // Read-only mirror of read_update_extras: group count, then per group a
+  // label, a task id, and one prompt tensor. The count is bounded by what
+  // the remaining bytes could actually encode (two u64 keys plus a minimal
+  // tensor is 32 bytes) before any loop runs, so a hostile count costs one
+  // division to reject. Decode failures throw; the caller quarantines.
+  const auto num_groups = reader.read_u64();
+  if (num_groups > reader.remaining() / 32) {
+    if (reason) {
+      *reason = "prompt group count " + std::to_string(num_groups) +
+                " exceeds what the remaining payload could encode";
+    }
+    return false;
+  }
+  for (std::uint64_t i = 0; i < num_groups; ++i) {
+    (void)reader.read_u64();  // label
+    (void)reader.read_u64();  // task
+    (void)T::Tensor::deserialize(reader);
+  }
+  return cl::MethodBase::validate_update_extras(reader, reason);
+}
+
 void RefFiLMethod::after_aggregate() {
   if (!reffil_.use_gpl) return;
   // Per (class, domain-task) summaries are kept fresh with an exponential

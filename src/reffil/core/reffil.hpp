@@ -111,6 +111,8 @@ class RefFiLMethod : public cl::MethodBase {
                            const fed::TrainJob& job) override;
   void read_update_extras(util::ByteReader& reader,
                           const fed::ClientUpdate& update) override;
+  bool validate_update_extras(util::ByteReader& reader,
+                              std::string* reason) const override;
   void after_aggregate() override;
   autograd::Var batch_loss(cl::Replica& replica,
                            const std::vector<cl::MethodBase::TaggedSample>& batch,

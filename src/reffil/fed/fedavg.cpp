@@ -48,6 +48,18 @@ void serialize_state(const ModelState& state, util::ByteWriter& writer) {
 ModelState deserialize_state(util::ByteReader& reader) {
   const auto n = reader.read_u64();
   if (n > 1'000'000) throw SerializationError("implausible state tensor count");
+  // The smallest serialized tensor is rank u64 + data-length u64, so any
+  // count a valid payload can carry is bounded by remaining/16. Checking
+  // before reserve() means a few-byte hostile frame claiming a million
+  // tensors is rejected for the cost of one division instead of making the
+  // server pre-allocate tens of MB it will never fill.
+  constexpr std::uint64_t kMinSerializedTensorBytes = 16;
+  if (n > reader.remaining() / kMinSerializedTensorBytes) {
+    throw SerializationError("state tensor count " + std::to_string(n) +
+                             " exceeds what the remaining " +
+                             std::to_string(reader.remaining()) +
+                             " payload bytes could encode");
+  }
   ModelState state;
   state.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -67,11 +79,85 @@ bool validate_state_prefix(const std::vector<std::uint8_t>& payload,
       if (reason) *reason = "empty model state";
       return false;
     }
+    // The decode must consume the payload exactly: trailing bytes mean a
+    // duplicated/concatenated state (or extras this validator was not told
+    // about), and aggregating only the decoded prefix of such a payload
+    // would silently accept bytes nobody vetted.
+    if (!reader.exhausted()) {
+      if (reason) {
+        *reason = std::to_string(reader.remaining()) +
+                  " trailing bytes after the model state";
+      }
+      return false;
+    }
     return true;
   } catch (const Error& e) {
     if (reason) *reason = e.what();
     return false;
   }
+}
+
+ShardedFedAvg::ShardedFedAvg(std::size_t num_shards)
+    : shards_(std::max<std::size_t>(1, num_shards)) {}
+
+void ShardedFedAvg::add(const ModelState& state, double weight) {
+  REFFIL_CHECK_MSG(weight >= 0.0, "sharded fedavg: negative weight");
+  if (shapes_.empty()) {
+    shapes_.reserve(state.size());
+    for (const auto& t : state) shapes_.push_back(t.shape());
+    REFFIL_CHECK_MSG(!shapes_.empty(), "sharded fedavg: empty model state");
+  } else if (state.size() != shapes_.size()) {
+    throw ShapeError("sharded fedavg: ragged states (" +
+                     std::to_string(state.size()) + " tensors vs " +
+                     std::to_string(shapes_.size()) + ")");
+  }
+  Shard& shard = shards_[next_];
+  next_ = (next_ + 1) % shards_.size();
+  if (shard.sum.empty()) {
+    shard.sum.reserve(shapes_.size());
+    for (const auto& shape : shapes_) shard.sum.emplace_back(shape);
+  }
+  for (std::size_t t = 0; t < shapes_.size(); ++t) {
+    if (state[t].shape() != shapes_[t]) {
+      throw ShapeError("sharded fedavg: tensor " + std::to_string(t) +
+                       " shape mismatch across clients");
+    }
+    tensor::axpy_inplace(shard.sum[t], static_cast<float>(weight), state[t]);
+  }
+  ++count_;
+  total_weight_ += weight;
+}
+
+ModelState ShardedFedAvg::finish() {
+  REFFIL_CHECK_MSG(count_ > 0, "sharded fedavg: no updates accumulated");
+  REFFIL_CHECK_MSG(total_weight_ > 0.0, "sharded fedavg: all-zero weights");
+  // Pairwise tree reduction: lg(shards) merge levels, each folding the
+  // upper half into the lower. Unused shards (fewer updates than shards)
+  // have empty sums and are skipped or moved wholesale.
+  for (std::size_t stride = 1; stride < shards_.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < shards_.size(); i += 2 * stride) {
+      Shard& into = shards_[i];
+      Shard& from = shards_[i + stride];
+      if (from.sum.empty()) continue;
+      if (into.sum.empty()) {
+        into.sum = std::move(from.sum);
+      } else {
+        for (std::size_t t = 0; t < into.sum.size(); ++t) {
+          tensor::add_inplace(into.sum[t], from.sum[t]);
+        }
+      }
+      from.sum.clear();
+    }
+  }
+  ModelState result = std::move(shards_.front().sum);
+  const float inv = static_cast<float>(1.0 / total_weight_);
+  for (auto& t : result) tensor::scale_inplace(t, inv);
+  shards_.front().sum.clear();
+  shapes_.clear();
+  next_ = 0;
+  count_ = 0;
+  total_weight_ = 0.0;
+  return result;
 }
 
 }  // namespace reffil::fed

@@ -20,17 +20,58 @@ ModelState federated_average(const std::vector<ModelState>& states,
                              const std::vector<double>& weights);
 
 /// Serialize / deserialize a full model state (used for broadcast payloads).
+/// deserialize_state bounds the claimed tensor count by the bytes actually
+/// remaining in the reader before reserving anything, so a few-byte hostile
+/// frame cannot make the server pre-allocate for a million tensors.
 void serialize_state(const ModelState& state, util::ByteWriter& writer);
 ModelState deserialize_state(util::ByteReader& reader);
 
 /// Server-side sanity check of one inbound update payload before it reaches
-/// aggregation: the payload must begin with a decodable, non-empty,
-/// all-finite ModelState (every Method's update payload does — method extras
-/// follow the state and are deliberately not inspected here; a corrupt extra
-/// is caught by the runner's aggregate fallback). On failure writes a
-/// human-readable cause into `reason` (when non-null) and returns false —
-/// never throws.
+/// aggregation: the payload must be EXACTLY one decodable, non-empty,
+/// all-finite ModelState — trailing undecoded bytes fail validation, so a
+/// duplicated/concatenated state can no longer slip past quarantine. Methods
+/// whose update payloads legitimately carry extras after the state install
+/// their own validator via Method::update_validator(), which checks the
+/// extras structurally and then requires the same exact consumption. On
+/// failure writes a human-readable cause into `reason` (when non-null) and
+/// returns false — never throws.
 bool validate_state_prefix(const std::vector<std::uint8_t>& payload,
                            std::string* reason);
+
+/// Streaming, sharded FedAvg accumulator for the discrete-event runner.
+/// Updates are folded into one of a fixed number of shard accumulators as
+/// they arrive, so server memory stays O(shards x model) no matter how many
+/// clients a round samples — nothing buffers the full cohort of states.
+/// finish() tree-reduces the shards pairwise and normalizes by the total
+/// weight, yielding the same weighted average federated_average computes
+/// (up to floating-point summation order).
+class ShardedFedAvg {
+ public:
+  /// `num_shards` is clamped to at least 1.
+  explicit ShardedFedAvg(std::size_t num_shards);
+
+  /// Fold one client state into the next shard (round-robin). Throws
+  /// ShapeError when the state's structure disagrees with earlier adds and
+  /// Error on a negative weight.
+  void add(const ModelState& state, double weight);
+
+  std::size_t count() const { return count_; }
+  double total_weight() const { return total_weight_; }
+
+  /// Tree-reduce the shards and return the weight-normalized average.
+  /// Throws Error when nothing was added or every weight was zero. The
+  /// accumulator is reset and reusable afterwards.
+  ModelState finish();
+
+ private:
+  struct Shard {
+    ModelState sum;  ///< running sum of weight-scaled states (empty = unused)
+  };
+  std::vector<Shard> shards_;
+  std::vector<tensor::Shape> shapes_;  ///< structure of the first added state
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  double total_weight_ = 0.0;
+};
 
 }  // namespace reffil::fed

@@ -1,0 +1,18 @@
+#include "reffil/fed/method.hpp"
+
+#include "reffil/fed/fedavg.hpp"
+
+namespace reffil::fed {
+
+UpdateValidator Method::update_validator() const {
+  return [](const std::vector<std::uint8_t>& payload, std::string* reason) {
+    return validate_state_prefix(payload, reason);
+  };
+}
+
+std::unique_ptr<AggregationSink> Method::begin_streaming_aggregate(
+    std::size_t) {
+  return nullptr;
+}
+
+}  // namespace reffil::fed

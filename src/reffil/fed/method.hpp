@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,24 @@ struct ClientUpdate {
   std::vector<std::uint8_t> payload;
 };
 
+/// Server-side structural check of one inbound update payload, armed on the
+/// transport before delivery. Returns false (optionally with a reason) for
+/// payloads that must be quarantined; never throws.
+using UpdateValidator =
+    std::function<bool(const std::vector<std::uint8_t>&, std::string*)>;
+
+/// Streaming alternative to Method::aggregate() for cohorts too large to
+/// buffer: updates are folded in one at a time as they arrive and finish()
+/// commits the round. add() throws on a malformed update, which quarantines
+/// that single update instead of the whole round.
+class AggregationSink {
+ public:
+  virtual ~AggregationSink() = default;
+  virtual void add(const ClientUpdate& update) = 0;
+  virtual std::size_t count() const = 0;
+  virtual void finish() = 0;
+};
+
 class Method {
  public:
   virtual ~Method() = default;
@@ -59,6 +79,20 @@ class Method {
 
   /// Server-side aggregation of the round's updates (FedAvg + extras).
   virtual void aggregate(const std::vector<ClientUpdate>& updates) = 0;
+
+  /// Validator the runner arms inbound updates with. The default accepts
+  /// exactly one decodable, non-empty model state and nothing else
+  /// (validate_state_prefix); methods whose payloads carry extras after the
+  /// state override this with a validator that also structurally checks the
+  /// extras — the exact-consumption requirement stands either way.
+  virtual UpdateValidator update_validator() const;
+
+  /// Begin a streaming aggregation with `num_shards` accumulator shards.
+  /// Returns nullptr when the method only supports batch aggregate() — the
+  /// caller must then buffer updates and fall back. finish() on the returned
+  /// sink replaces one aggregate() call.
+  virtual std::unique_ptr<AggregationSink> begin_streaming_aggregate(
+      std::size_t num_shards);
 
   /// Load the current global state into every worker replica for evaluation.
   virtual void prepare_eval() = 0;

@@ -68,6 +68,7 @@ data::Dataset FederatedRunner::train_pool(std::size_t task) const {
 }
 
 RunResult FederatedRunner::run(Method& method) {
+  if (config_.des.enabled()) return run_des(method);
   const auto& spec = config_.spec;
   const auto start_time = std::chrono::steady_clock::now();
 
@@ -91,6 +92,11 @@ RunResult FederatedRunner::run(Method& method) {
   if (faults_armed) {
     transport.emplace(config_.faults, config_.seed ^ 0x7A2A4F0B7ULL);
   }
+  // The method supplies its own payload validator: the default certifies
+  // exactly one model state; methods with update extras (EWC, RefFiL) check
+  // those structurally too. Either way, trailing undecoded bytes quarantine.
+  const UpdateValidator update_validator =
+      faults_armed ? method.update_validator() : UpdateValidator();
   // shards[t][client_id]: client's shard of domain t's training pool.
   std::vector<std::vector<data::Dataset>> shards(spec.domains.size());
 
@@ -303,8 +309,7 @@ RunResult FederatedRunner::run(Method& method) {
           bool delivered = true;
           if (faults_armed) {
             Transport::Delivery d =
-                transport->send_update(updates[i].payload,
-                                       &validate_state_prefix);
+                transport->send_update(updates[i].payload, update_validator);
             wire_bytes = d.bytes_transmitted;
             round_stats.retries += d.retries;
             round_stats.bytes_retransmitted += d.bytes_retransmitted;
@@ -464,6 +469,477 @@ RunResult FederatedRunner::run(Method& method) {
   }
   // Persist the op-level profile (no-op when no profile sink is armed) so a
   // profiled run yields a loadable trace even without a clean process exit.
+  obs::prof::flush();
+  return result;
+}
+
+RunResult FederatedRunner::run_des(Method& method) {
+  const auto& spec = config_.spec;
+  const auto start_time = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.method_name = method.name();
+  result.dataset_name = spec.name;
+
+  // Same dense growth schedule underneath (it defines the data shards and
+  // group semantics); the DES layer adds the registered population and the
+  // availability traces on top.
+  DesScheduler scheduler({.initial_clients = spec.initial_clients,
+                          .clients_per_round = spec.clients_per_round,
+                          .client_increment = spec.client_increment,
+                          .transition_fraction = 0.8},
+                         config_.des, config_.seed);
+
+  util::Rng partition_rng(config_.seed ^ 0x9A27171017ULL);
+  util::Rng dropout_rng(config_.seed ^ 0xD20D077ULL);
+  const bool faults_armed = config_.faults.enabled();
+  std::optional<Transport> transport;
+  if (faults_armed) {
+    transport.emplace(config_.faults, config_.seed ^ 0x7A2A4F0B7ULL);
+  }
+  const UpdateValidator update_validator =
+      faults_armed ? method.update_validator() : UpdateValidator();
+
+  // shards[t][shard]: the spec-sized data partition; registered clients map
+  // onto it via ClientAssignment::shard, so data memory is independent of
+  // the registered population.
+  std::vector<std::vector<data::Dataset>> shards(spec.domains.size());
+  auto& pool = util::global_thread_pool();
+
+  const bool tracing = obs::trace_enabled();
+  obs::Counter& rounds_counter = obs::counter("fed.rounds");
+  obs::Histogram& train_time = obs::histogram("fed.round_train_seconds");
+  obs::Histogram& aggregate_time = obs::histogram("fed.aggregate_seconds");
+  if (tracing) {
+    obs::trace(obs::TraceEvent("run_start")
+                   .field("method", result.method_name)
+                   .field("dataset", result.dataset_name)
+                   .field("tasks", spec.domains.size())
+                   .field("rounds_per_task", spec.rounds_per_task)
+                   .field("seed", config_.seed)
+                   .field("registered_clients", config_.des.registered_clients)
+                   .field("sample_per_round", scheduler.sample_per_round()));
+  }
+
+  std::size_t global_round = 0;
+  for (std::size_t task = 0; task < spec.domains.size(); ++task) {
+    method.on_task_start(task);
+
+    const std::size_t population = scheduler.data_population(task);
+    shards[task] = data::quantity_shift_partition(
+        train_pool(task), population,
+        {.skew = config_.partition_skew, .min_per_client = 4}, partition_rng);
+
+    for (std::size_t round = 0; round < spec.rounds_per_task; ++round) {
+      const double sim_time =
+          config_.des.round_interval_s * static_cast<double>(global_round++);
+      RoundPlan plan = scheduler.plan_round(task, round, sim_time);
+      RoundStats round_stats;
+      round_stats.task = static_cast<std::uint32_t>(task);
+      round_stats.round = static_cast<std::uint32_t>(round);
+      round_stats.selected =
+          static_cast<std::uint32_t>(plan.participants.size());
+
+      obs::prof::Span bcast_span("fed.broadcast", round_stats.task,
+                                 round_stats.round);
+      const std::vector<std::uint8_t> broadcast = method.make_broadcast();
+      bcast_span.set_value(broadcast.size());
+      bcast_span.finish();
+      std::vector<ClientAssignment> reachable;
+      if (!faults_armed) {
+        round_stats.bytes_down = broadcast.size() * plan.participants.size();
+      } else {
+        obs::prof::Span down_span("fed.transport", round_stats.task,
+                                  round_stats.round);
+        const std::vector<std::uint8_t> framed = Transport::frame(broadcast);
+        for (const auto& assignment : plan.participants) {
+          const Transport::Delivery d = transport->send_broadcast(framed);
+          round_stats.bytes_down += d.bytes_transmitted;
+          round_stats.retries += d.retries;
+          round_stats.bytes_retransmitted += d.bytes_retransmitted;
+          if (tracing && (d.retries != 0 || d.duplicates != 0)) {
+            obs::trace(obs::TraceEvent("fed.retry")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("client", assignment.client_id)
+                           .field("direction", "down")
+                           .field("retries", d.retries)
+                           .field("bytes", d.bytes_retransmitted));
+          }
+          if (d.outcome == Transport::Outcome::kDelivered) {
+            reachable.push_back(assignment);
+          } else {
+            ++round_stats.timed_out;
+            if (tracing) {
+              obs::trace(obs::TraceEvent("fed.timeout")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", assignment.client_id)
+                             .field("direction", "down")
+                             .field("reason", d.reason));
+            }
+          }
+        }
+        down_span.set_value(round_stats.bytes_down);
+      }
+      result.network.bytes_down += round_stats.bytes_down;
+      result.network.messages += plan.participants.size();
+      if (tracing) {
+        obs::trace(obs::TraceEvent("broadcast")
+                       .field("task", task)
+                       .field("round", round)
+                       .field("participants", plan.participants.size())
+                       .field("payload_bytes", broadcast.size())
+                       .field("bytes_down", round_stats.bytes_down)
+                       .field("sim_time_s", sim_time));
+      }
+      if (faults_armed) plan.participants = std::move(reachable);
+      if (config_.dropout_probability > 0.0) {
+        std::vector<ClientAssignment> alive;
+        for (const auto& assignment : plan.participants) {
+          if (dropout_rng.bernoulli(config_.dropout_probability)) {
+            ++result.network.dropped_updates;
+            ++round_stats.dropped;
+            if (tracing) {
+              obs::trace(obs::TraceEvent("dropout")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", assignment.client_id));
+            }
+          } else {
+            alive.push_back(assignment);
+          }
+        }
+        plan.participants = std::move(alive);
+      }
+      const auto commit_round = [&](const char* lost_reason) {
+        rounds_counter.add(1);
+        if (lost_reason != nullptr && tracing) {
+          obs::trace(obs::TraceEvent("round_lost")
+                         .field("task", task)
+                         .field("round", round)
+                         .field("selected", round_stats.selected)
+                         .field("dropped", round_stats.dropped)
+                         .field("timed_out", round_stats.timed_out)
+                         .field("quarantined", round_stats.quarantined)
+                         .field("reason", lost_reason));
+        }
+        result.network.quarantined += round_stats.quarantined;
+        result.network.retries += round_stats.retries;
+        result.network.timed_out += round_stats.timed_out;
+        result.network.bytes_retransmitted += round_stats.bytes_retransmitted;
+        result.rounds.push_back(round_stats);
+      };
+      if (plan.participants.empty()) {
+        commit_round("no participants survived dropout/transport");
+        continue;
+      }
+
+      // Discrete-event core: each surviving participant becomes one upload
+      // event at its simulated compute-completion offset. A client whose
+      // offset already exceeds the round deadline can never deliver, so it
+      // is cut before training — the server would discard the result, and
+      // skipping the work is what lets deadline-heavy configs scale.
+      struct Event {
+        std::size_t idx = 0;     ///< index into plan.participants
+        double delay_s = 0.0;    ///< upload start offset from round start
+      };
+      std::vector<Event> events;
+      events.reserve(plan.participants.size());
+      const double deadline = faults_armed ? config_.faults.deadline_s : 0.0;
+      for (std::size_t i = 0; i < plan.participants.size(); ++i) {
+        const auto& assignment = plan.participants[i];
+        const double delay =
+            scheduler.upload_delay(assignment.client_id, task, round);
+        if (deadline > 0.0 && delay >= deadline) {
+          ++round_stats.timed_out;
+          if (tracing) {
+            obs::trace(obs::TraceEvent("fed.timeout")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("client", assignment.client_id)
+                           .field("direction", "up")
+                           .field("reason",
+                                  "round closed before local compute finished"));
+          }
+          continue;
+        }
+        events.push_back({i, delay});
+      }
+      std::sort(events.begin(), events.end(),
+                [](const Event& a, const Event& b) {
+                  return a.delay_s != b.delay_s ? a.delay_s < b.delay_s
+                                                : a.idx < b.idx;
+                });
+      if (events.empty()) {
+        commit_round("every upload was cut by the round deadline");
+        continue;
+      }
+
+      // Streaming aggregation: updates fold into the sharded accumulator as
+      // they arrive and their payloads die with the wave, so peak memory is
+      // O(wave x payload + shards x model) — never O(cohort). Methods
+      // without a sink fall back to buffering (batch aggregate()).
+      std::unique_ptr<AggregationSink> sink =
+          method.begin_streaming_aggregate(config_.des.accumulator_shards);
+      std::vector<ClientUpdate> buffered;
+
+      double aggregate_seconds = 0.0;
+      obs::prof::Span round_span("fed.train_round", round_stats.task,
+                                 round_stats.round);
+      const std::size_t wave_size =
+          std::max<std::size_t>(1, parallelism_) * 4;
+      for (std::size_t begin = 0; begin < events.size(); begin += wave_size) {
+        const std::size_t end = std::min(events.size(), begin + wave_size);
+        const std::size_t count = end - begin;
+        std::vector<ClientUpdate> updates(count);
+        std::vector<double> client_seconds(count, 0.0);
+        std::vector<std::size_t> slots(count);
+        for (std::size_t i = 0; i < count; ++i) slots[i] = i % parallelism_;
+        std::vector<std::vector<std::size_t>> by_slot(parallelism_);
+        for (std::size_t i = 0; i < count; ++i) by_slot[slots[i]].push_back(i);
+
+        const auto wave_start = std::chrono::steady_clock::now();
+        pool.parallel_for(parallelism_, [&](std::size_t slot) {
+          for (std::size_t i : by_slot[slot]) {
+            const Event& event = events[begin + i];
+            const ClientAssignment& assignment =
+                plan.participants[event.idx];
+            TrainJob job;
+            job.worker_slot = slot;
+            job.client_id = assignment.client_id;
+            job.task = task;
+            job.round = round;
+            job.total_rounds = spec.rounds_per_task;
+            job.group = assignment.group;
+            job.local_epochs = spec.local_epochs;
+            job.learning_rate = spec.learning_rate;
+            if (task == 0 || assignment.group != ClientGroup::kOld) {
+              job.new_data = &shards[task][assignment.shard];
+            }
+            if (task > 0 && assignment.group != ClientGroup::kNew) {
+              job.old_data = &shards[task - 1][assignment.shard];
+            }
+            const auto client_start = std::chrono::steady_clock::now();
+            {
+              obs::prof::Span client_span("fed.client", round_stats.task,
+                                          round_stats.round);
+              updates[i] = method.train_client(broadcast, job);
+              client_span.set_value(updates[i].payload.size());
+            }
+            updates[i].client_id = assignment.client_id;
+            client_seconds[i] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - client_start)
+                    .count();
+          }
+        });
+        round_stats.train_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wave_start)
+                .count();
+
+        // Uplink + fold, in simulated arrival order within the wave.
+        for (std::size_t i = 0; i < count; ++i) {
+          const Event& event = events[begin + i];
+          const ClientAssignment& assignment = plan.participants[event.idx];
+          std::uint64_t wire_bytes = updates[i].payload.size();
+          bool delivered = true;
+          if (faults_armed) {
+            Transport::Delivery d = transport->send_update(
+                updates[i].payload, update_validator, event.delay_s);
+            wire_bytes = d.bytes_transmitted;
+            round_stats.retries += d.retries;
+            round_stats.bytes_retransmitted += d.bytes_retransmitted;
+            if (tracing && (d.retries != 0 || d.duplicates != 0)) {
+              obs::trace(obs::TraceEvent("fed.retry")
+                             .field("task", task)
+                             .field("round", round)
+                             .field("client", assignment.client_id)
+                             .field("direction", "up")
+                             .field("retries", d.retries)
+                             .field("bytes", d.bytes_retransmitted));
+            }
+            switch (d.outcome) {
+              case Transport::Outcome::kDelivered:
+                if (!d.payload.empty()) {
+                  updates[i].payload = std::move(d.payload);
+                }
+                break;
+              case Transport::Outcome::kTimedOut:
+                delivered = false;
+                ++round_stats.timed_out;
+                if (tracing) {
+                  obs::trace(obs::TraceEvent("fed.timeout")
+                                 .field("task", task)
+                                 .field("round", round)
+                                 .field("client", assignment.client_id)
+                                 .field("direction", "up")
+                                 .field("reason", d.reason));
+                }
+                break;
+              case Transport::Outcome::kQuarantined:
+                delivered = false;
+                ++round_stats.quarantined;
+                if (tracing) {
+                  obs::trace(obs::TraceEvent("fed.quarantine")
+                                 .field("task", task)
+                                 .field("round", round)
+                                 .field("client", assignment.client_id)
+                                 .field("reason", d.reason));
+                }
+                break;
+            }
+          }
+          round_stats.bytes_up += wire_bytes;
+          ++result.network.messages;
+          if (tracing) {
+            obs::trace(obs::TraceEvent("client_train")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("client", assignment.client_id)
+                           .field("shard", assignment.shard)
+                           .field("group", to_string(assignment.group))
+                           .field("slot", slots[i])
+                           .field("wall_s", client_seconds[i])
+                           .field("sim_start_s", event.delay_s)
+                           .field("samples", updates[i].num_samples)
+                           .field("bytes_up", wire_bytes));
+          }
+          if (!delivered) continue;
+          if (sink) {
+            const auto add_start = std::chrono::steady_clock::now();
+            try {
+              sink->add(updates[i]);
+            } catch (const Error& e) {
+              // A validated frame can still carry extras the streaming
+              // decode rejects; quarantine that single update, not the
+              // round.
+              ++round_stats.quarantined;
+              if (tracing) {
+                obs::trace(obs::TraceEvent("fed.quarantine")
+                               .field("task", task)
+                               .field("round", round)
+                               .field("client", assignment.client_id)
+                               .field("reason",
+                                      std::string("aggregation rejected: ") +
+                                          e.what()));
+              }
+            }
+            aggregate_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - add_start)
+                    .count();
+          } else {
+            buffered.push_back(std::move(updates[i]));
+          }
+        }
+      }
+      round_span.finish();
+      train_time.observe(round_stats.train_seconds);
+      result.network.bytes_up += round_stats.bytes_up;
+
+      const std::size_t accepted_count = sink ? sink->count() : buffered.size();
+      if (accepted_count == 0) {
+        commit_round("every update timed out or was quarantined");
+        continue;
+      }
+      bool aggregated = true;
+      {
+        obs::prof::Span agg_span("fed.aggregate", round_stats.task,
+                                 round_stats.round);
+        const auto agg_start = std::chrono::steady_clock::now();
+        try {
+          if (sink) {
+            sink->finish();
+          } else {
+            method.aggregate(buffered);
+          }
+        } catch (const Error& e) {
+          aggregated = false;
+          round_stats.quarantined += static_cast<std::uint32_t>(accepted_count);
+          if (tracing) {
+            obs::trace(obs::TraceEvent("fed.quarantine")
+                           .field("task", task)
+                           .field("round", round)
+                           .field("updates", accepted_count)
+                           .field("reason", std::string("aggregate failed: ") +
+                                                e.what()));
+          }
+        }
+        aggregate_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          agg_start)
+                .count();
+      }
+      round_stats.aggregate_seconds = aggregate_seconds;
+      aggregate_time.observe(round_stats.aggregate_seconds);
+      if (tracing && aggregated) {
+        obs::trace(obs::TraceEvent("aggregate")
+                       .field("task", task)
+                       .field("round", round)
+                       .field("updates", accepted_count)
+                       .field("wall_s", round_stats.aggregate_seconds));
+      }
+      commit_round(aggregated ? nullptr
+                              : "aggregation rejected the surviving updates");
+    }
+
+    evaluate_task(method, task, result);
+    if (config_.after_task) config_.after_task(method, task);
+    REFFIL_LOG_INFO << spec.name << " / " << method.name() << ": task "
+                    << (task + 1) << "/" << spec.domains.size() << " ("
+                    << spec.domains[task].name << ") step-acc "
+                    << result.tasks.back().cumulative_accuracy;
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  obs::count("fed.runs");
+  obs::count("fed.bytes_down", result.network.bytes_down);
+  obs::count("fed.bytes_up", result.network.bytes_up);
+  obs::count("fed.dropped_updates", result.network.dropped_updates);
+  obs::count("des.participations", scheduler.total_participations());
+  obs::count("des.unique_participants", scheduler.unique_participants());
+  if (scheduler.forced_rounds() != 0) {
+    obs::count("des.forced_rounds", scheduler.forced_rounds());
+  }
+  if (result.network.quarantined != 0) {
+    obs::count("fed.quarantined", result.network.quarantined);
+  }
+  if (result.network.retries != 0) {
+    obs::count("fed.retries", result.network.retries);
+  }
+  if (result.network.timed_out != 0) {
+    obs::count("fed.timed_out", result.network.timed_out);
+  }
+  if (tracing) {
+    obs::trace(obs::TraceEvent("des_summary")
+                   .field("registered_clients", config_.des.registered_clients)
+                   .field("sample_per_round", scheduler.sample_per_round())
+                   .field("participations", scheduler.total_participations())
+                   .field("unique_participants",
+                          scheduler.unique_participants())
+                   .field("forced_rounds", scheduler.forced_rounds()));
+    obs::trace(obs::TraceEvent("run_end")
+                   .field("method", result.method_name)
+                   .field("dataset", result.dataset_name)
+                   .field("bytes_down", result.network.bytes_down)
+                   .field("bytes_up", result.network.bytes_up)
+                   .field("messages", result.network.messages)
+                   .field("dropped_updates", result.network.dropped_updates)
+                   .field("quarantined", result.network.quarantined)
+                   .field("retries", result.network.retries)
+                   .field("timed_out", result.network.timed_out)
+                   .field("bytes_retransmitted",
+                          result.network.bytes_retransmitted)
+                   .field("avg_accuracy", result.average_accuracy())
+                   .field("last_accuracy", result.last_accuracy())
+                   .field("wall_s", result.wall_seconds));
+    obs::flush_trace();
+  }
   obs::prof::flush();
   return result;
 }

@@ -48,6 +48,14 @@ struct RunConfig {
   /// bitwise-identical to a transport-free one. All fault randomness derives
   /// from `seed`, so armed runs are exactly reproducible too.
   FaultProfile faults;
+  /// Discrete-event federation (see fed/scheduler.hpp). Disabled by default:
+  /// the dense every-client-every-round loop runs unchanged. When enabled,
+  /// rounds are simulated on a virtual clock — participants are sampled from
+  /// a registered population far larger than the data population, gated by
+  /// availability traces, trained in bounded waves ordered by simulated
+  /// arrival, and streamed into a sharded FedAvg accumulator so server
+  /// memory stays flat no matter how many clients a round samples.
+  DesConfig des;
   /// Optional observer invoked after each task's evaluation, while the
   /// method is still in its prepared-for-eval state (used by the figure
   /// benches to extract features/embeddings per task step).
@@ -130,6 +138,10 @@ class FederatedRunner {
   const RunConfig& config() const { return config_; }
 
  private:
+  /// The discrete-event round loop (RunConfig::des enabled). Same curriculum,
+  /// metering, and trace-event shapes as the dense loop; only participation,
+  /// timing, and aggregation memory behavior differ.
+  RunResult run_des(Method& method);
   void evaluate_task(Method& method, std::size_t task, RunResult& result);
   data::Dataset train_pool(std::size_t task) const;
 

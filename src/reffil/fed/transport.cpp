@@ -179,26 +179,28 @@ void Transport::poison_floats(std::vector<std::uint8_t>& payload) {
 }
 
 Transport::Delivery Transport::send_broadcast(
-    const std::vector<std::uint8_t>& framed) {
-  return deliver(framed, nullptr);
+    const std::vector<std::uint8_t>& framed, double start_s) {
+  return deliver(framed, nullptr, start_s);
 }
 
 Transport::Delivery Transport::send_update(
-    const std::vector<std::uint8_t>& payload, const Validator& validator) {
+    const std::vector<std::uint8_t>& payload, const Validator& validator,
+    double start_s) {
   const bool poisoned = profile_.poison > 0.0 && rng_.bernoulli(profile_.poison);
-  if (!poisoned) return deliver(frame(payload), validator);
+  if (!poisoned) return deliver(frame(payload), validator, start_s);
   std::vector<std::uint8_t> damaged = payload;
   poison_floats(damaged);
-  Delivery d = deliver(frame(damaged), validator);
+  Delivery d = deliver(frame(damaged), validator, start_s);
   if (d.outcome == Outcome::kDelivered) d.payload = std::move(damaged);
   return d;
 }
 
 Transport::Delivery Transport::deliver(const std::vector<std::uint8_t>& framed,
-                                       const Validator& validator) {
+                                       const Validator& validator,
+                                       double start_s) {
   Delivery d;
   const std::uint64_t frame_bytes = framed.size();
-  double now = 0.0;
+  double now = start_s;
   for (std::uint32_t attempt = 0; attempt <= profile_.max_retries; ++attempt) {
     if (attempt > 0) {
       now += profile_.backoff_s * static_cast<double>(1u << (attempt - 1));

@@ -127,19 +127,24 @@ class Transport {
 
   /// Deliver a pre-framed broadcast to one client (wire faults only; the
   /// caller frames once and fans out, so per-client attempts reuse the same
-  /// bytes).
-  Delivery send_broadcast(const std::vector<std::uint8_t>& framed);
+  /// bytes). `start_s` is the simulated clock offset at which transmission
+  /// begins, counted against the round deadline — the discrete-event runner
+  /// passes each client's availability/compute delay here; the dense runner
+  /// leaves it at 0, keeping its behavior bitwise-identical.
+  Delivery send_broadcast(const std::vector<std::uint8_t>& framed,
+                          double start_s = 0.0);
 
   /// Deliver one client update to the server: optional source poisoning,
   /// framing, wire faults, then `validator` on the received payload.
+  /// `start_s` as in send_broadcast.
   Delivery send_update(const std::vector<std::uint8_t>& payload,
-                       const Validator& validator);
+                       const Validator& validator, double start_s = 0.0);
 
   const FaultProfile& profile() const { return profile_; }
 
  private:
   Delivery deliver(const std::vector<std::uint8_t>& framed,
-                   const Validator& validator);
+                   const Validator& validator, double start_s);
   /// One wire-corruption event applied to a copy of the framed bytes
   /// (bit flips / truncation / NaN scribble — all checksum-breaking).
   std::vector<std::uint8_t> corrupt_copy(const std::vector<std::uint8_t>& framed);

@@ -33,9 +33,11 @@ inline constexpr std::uint32_t kCacheMagic = 0x4C464652u;  // "RFFL"
 inline constexpr std::uint32_t kCacheVersion = 3;
 
 /// Stable key for one experiment cell. `fault_tag` is the canonical
-/// FaultProfile::tag() of the run — empty for the zero-fault default, so
-/// every pre-existing cell key is unchanged; an armed profile hashes to a
-/// distinct key instead of aliasing the clean run's cached result.
+/// FaultProfile::tag() of the run, with DesConfig::tag() appended when the
+/// discrete-event federation is enabled — empty for the default dense
+/// zero-fault run, so every pre-existing cell key is unchanged; an armed
+/// profile or DES config hashes to a distinct key instead of aliasing the
+/// clean run's cached result.
 std::string cache_key(const std::string& dataset_name,
                       const std::string& domain_order_tag,
                       const std::string& method_name, std::uint64_t seed,

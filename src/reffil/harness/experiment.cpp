@@ -126,7 +126,8 @@ fed::RunResult run_experiment(const data::DatasetSpec& spec, MethodKind kind,
   fed::FederatedRunner runner({.spec = scaled,
                                .parallelism = config.parallelism,
                                .seed = config.seed,
-                               .faults = config.faults});
+                               .faults = config.faults,
+                               .des = config.des});
   return runner.run(*method);
 }
 
@@ -139,7 +140,8 @@ fed::RunResult run_reffil_variant(const data::DatasetSpec& spec,
   fed::FederatedRunner runner({.spec = scaled,
                                .parallelism = config.parallelism,
                                .seed = config.seed,
-                               .faults = config.faults});
+                               .faults = config.faults,
+                               .des = config.des});
   return runner.run(*method);
 }
 

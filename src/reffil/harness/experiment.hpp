@@ -49,6 +49,10 @@ struct ExperimentConfig {
   /// Armed profiles change the cache key via FaultProfile::tag(), so a
   /// faulted cell never aliases a clean cached run.
   fed::FaultProfile faults;
+  /// Discrete-event federation (disabled by default; see fed/scheduler.hpp).
+  /// An enabled config changes the cache key via DesConfig::tag(), same
+  /// no-aliasing guarantee as faults.
+  fed::DesConfig des;
 };
 
 /// Build a method instance for the given dataset.

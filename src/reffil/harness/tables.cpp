@@ -98,7 +98,8 @@ CellResult run_cell(const data::DatasetSpec& spec, const std::string& order_tag,
   for (std::uint64_t seed : bench_seeds()) {
     const std::string key =
         cache_key(spec.name, order_tag, method_display_name(kind), seed,
-                  to_string(base_config.scale), base_config.faults.tag());
+                  to_string(base_config.scale),
+                  base_config.faults.tag() + base_config.des.tag());
     if (auto cached = cache_load(key)) {
       cell.runs.push_back(std::move(*cached));
       continue;
@@ -130,9 +131,10 @@ CellResult run_reffil_variant_cell(const data::DatasetSpec& spec,
 
   CellResult cell;
   for (std::uint64_t seed : bench_seeds()) {
-    const std::string key = cache_key(spec.name, order_tag, variant_name, seed,
-                                      to_string(base_config.scale),
-                                      base_config.faults.tag());
+    const std::string key =
+        cache_key(spec.name, order_tag, variant_name, seed,
+                  to_string(base_config.scale),
+                  base_config.faults.tag() + base_config.des.tag());
     if (auto cached = cache_load(key)) {
       cell.runs.push_back(std::move(*cached));
       continue;

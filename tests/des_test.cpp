@@ -1,0 +1,492 @@
+// Discrete-event federation tests: DesConfig parsing and cache tags, the
+// availability traces (diurnal / churn / straggler), participation sampling
+// (determinism, history independence, forced rounds), the sharded streaming
+// FedAvg accumulator, and the end-to-end DES runner — seeded reproducibility,
+// sampled-vs-dense equivalence when the sample covers the population, and
+// per-round stats reconciling exactly with the run totals.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "reffil/fed/fedavg.hpp"
+#include "reffil/fed/runtime.hpp"
+#include "reffil/fed/scheduler.hpp"
+#include "reffil/harness/experiment.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/util/error.hpp"
+
+using namespace reffil;
+
+namespace {
+
+data::DatasetSpec tiny_spec() {
+  data::DatasetSpec spec;
+  spec.name = "DesTest";
+  spec.num_classes = 3;
+  spec.seed = 70;
+  data::DomainSpec d;
+  d.train_samples = 36;
+  d.test_samples = 30;
+  d.noise = 0.1f;
+  d.name = "Only";
+  spec.domains.push_back(d);
+  spec.initial_clients = 4;
+  spec.clients_per_round = 3;
+  spec.client_increment = 0;
+  spec.rounds_per_task = 3;
+  spec.local_epochs = 1;
+  spec.learning_rate = 0.03f;
+  return spec;
+}
+
+fed::RunResult run_tiny_des(const fed::DesConfig& des, std::uint64_t seed,
+                            const fed::FaultProfile& faults = {},
+                            double dropout = 0.0) {
+  const auto spec = tiny_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto method =
+      harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  fed::FederatedRunner runner({.spec = spec,
+                               .parallelism = 1,
+                               .seed = seed,
+                               .dropout_probability = dropout,
+                               .faults = faults,
+                               .des = des});
+  return runner.run(*method);
+}
+
+fed::SchedulerConfig dense_config() {
+  return {.initial_clients = 20,
+          .clients_per_round = 10,
+          .client_increment = 2,
+          .transition_fraction = 0.8};
+}
+
+}  // namespace
+
+// ---- DesConfig parsing and tags --------------------------------------------
+
+TEST(DesConfig, EmptySpecStaysDisabled) {
+  const auto des = fed::DesConfig::parse("");
+  EXPECT_FALSE(des.enabled());
+  EXPECT_TRUE(des.tag().empty());
+}
+
+TEST(DesConfig, ParseFillsEveryKnob) {
+  const auto des = fed::DesConfig::parse(
+      "registered=1000000,sample=10000,offline=0.3,diurnal=3600,churn=1e-6,"
+      "rejoin=7200,straggler=0.05,straggler_latency=20,compute=5,jitter=3,"
+      "interval=120,shards=16");
+  EXPECT_TRUE(des.enabled());
+  EXPECT_EQ(des.registered_clients, 1'000'000u);
+  EXPECT_EQ(des.sample_per_round, 10'000u);
+  EXPECT_DOUBLE_EQ(des.offline_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(des.diurnal_period_s, 3600.0);
+  EXPECT_DOUBLE_EQ(des.churn_rate, 1e-6);
+  EXPECT_DOUBLE_EQ(des.rejoin_s, 7200.0);
+  EXPECT_DOUBLE_EQ(des.straggler_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(des.straggler_latency_s, 20.0);
+  EXPECT_DOUBLE_EQ(des.compute_s, 5.0);
+  EXPECT_DOUBLE_EQ(des.compute_jitter_s, 3.0);
+  EXPECT_DOUBLE_EQ(des.round_interval_s, 120.0);
+  EXPECT_EQ(des.accumulator_shards, 16u);
+}
+
+TEST(DesConfig, TagIsCanonicalAndDistinguishesConfigs) {
+  const auto a = fed::DesConfig::parse("registered=1000,sample=100");
+  const auto b = fed::DesConfig::parse("sample=100,registered=1000");
+  const auto c = fed::DesConfig::parse("registered=1000,sample=200");
+  EXPECT_FALSE(a.tag().empty());
+  EXPECT_EQ(a.tag(), b.tag());  // key order must not matter
+  EXPECT_NE(a.tag(), c.tag());  // different configs must not alias
+}
+
+TEST(DesConfig, ParseRejectsBadSpecs) {
+  EXPECT_THROW(fed::DesConfig::parse("registered=1000,bogus=1"), ConfigError);
+  EXPECT_THROW(fed::DesConfig::parse("registered=-5"), ConfigError);
+  EXPECT_THROW(fed::DesConfig::parse("registered=1000,offline=1.0"),
+               ConfigError);
+  EXPECT_THROW(fed::DesConfig::parse("registered=1000,straggler=1.5"),
+               ConfigError);
+  EXPECT_THROW(fed::DesConfig::parse("registered=1000,compute=nan"),
+               ConfigError);
+  EXPECT_THROW(fed::DesConfig::parse("registered=1000,offline=0.5,diurnal=0"),
+               ConfigError);
+}
+
+// ---- DesScheduler: sampling ------------------------------------------------
+
+TEST(DesScheduler, RejectsSampleLargerThanRegistered) {
+  fed::DesConfig des;
+  des.registered_clients = 100;
+  des.sample_per_round = 101;
+  EXPECT_THROW(fed::DesScheduler(dense_config(), des, 1), ConfigError);
+}
+
+TEST(DesScheduler, CohortIsUniqueInRangeAndShardedOntoData) {
+  fed::DesConfig des;
+  des.registered_clients = 100'000;
+  des.sample_per_round = 50;
+  fed::DesScheduler scheduler(dense_config(), des, 7);
+  for (std::size_t task = 0; task < 3; ++task) {
+    const auto plan = scheduler.plan_round(task, 0, 0.0);
+    ASSERT_EQ(plan.participants.size(), 50u);
+    std::set<std::size_t> ids;
+    for (const auto& p : plan.participants) {
+      EXPECT_LT(p.client_id, des.registered_clients);
+      EXPECT_EQ(p.shard, p.client_id % scheduler.data_population(task));
+      ids.insert(p.client_id);
+    }
+    EXPECT_EQ(ids.size(), plan.participants.size());
+  }
+}
+
+TEST(DesScheduler, FirstTaskIsAllNewClients) {
+  fed::DesConfig des;
+  des.registered_clients = 10'000;
+  des.sample_per_round = 100;
+  fed::DesScheduler scheduler(dense_config(), des, 9);
+  const auto plan = scheduler.plan_round(0, 0, 0.0);
+  for (const auto& p : plan.participants) {
+    EXPECT_EQ(p.group, fed::ClientGroup::kNew);
+  }
+}
+
+TEST(DesScheduler, SameSeedSameSchedule) {
+  fed::DesConfig des;
+  des.registered_clients = 50'000;
+  des.sample_per_round = 64;
+  des.offline_fraction = 0.25;
+  des.diurnal_period_s = 600.0;
+  fed::DesScheduler a(dense_config(), des, 42);
+  fed::DesScheduler b(dense_config(), des, 42);
+  for (std::size_t round = 0; round < 5; ++round) {
+    const auto pa = a.plan_round(1, round, 60.0 * round);
+    const auto pb = b.plan_round(1, round, 60.0 * round);
+    ASSERT_EQ(pa.participants.size(), pb.participants.size());
+    for (std::size_t i = 0; i < pa.participants.size(); ++i) {
+      EXPECT_EQ(pa.participants[i].client_id, pb.participants[i].client_id);
+      EXPECT_EQ(pa.participants[i].group, pb.participants[i].group);
+      EXPECT_EQ(pa.participants[i].shard, pb.participants[i].shard);
+    }
+  }
+}
+
+TEST(DesScheduler, RoundPlansAreHistoryIndependent) {
+  // Round r's cohort is a pure function of (seed, task, round, sim time) —
+  // a scheduler that planned rounds 0..2 first must draw the identical round
+  // 3 as a fresh scheduler asked for round 3 directly.
+  fed::DesConfig des;
+  des.registered_clients = 10'000;
+  des.sample_per_round = 32;
+  fed::DesScheduler warmed(dense_config(), des, 11);
+  for (std::size_t round = 0; round < 3; ++round) {
+    (void)warmed.plan_round(0, round, 60.0 * round);
+  }
+  fed::DesScheduler fresh(dense_config(), des, 11);
+  const auto pw = warmed.plan_round(0, 3, 180.0);
+  const auto pf = fresh.plan_round(0, 3, 180.0);
+  ASSERT_EQ(pw.participants.size(), pf.participants.size());
+  for (std::size_t i = 0; i < pw.participants.size(); ++i) {
+    EXPECT_EQ(pw.participants[i].client_id, pf.participants[i].client_id);
+    EXPECT_EQ(pw.participants[i].group, pf.participants[i].group);
+  }
+}
+
+TEST(DesScheduler, ParticipationCountersReconcile) {
+  fed::DesConfig des;
+  des.registered_clients = 1000;
+  des.sample_per_round = 40;
+  fed::DesScheduler scheduler(dense_config(), des, 3);
+  for (std::size_t round = 0; round < 10; ++round) {
+    (void)scheduler.plan_round(0, round, 60.0 * round);
+  }
+  EXPECT_EQ(scheduler.total_participations(), 400u);
+  EXPECT_LE(scheduler.unique_participants(), 400u);
+  EXPECT_GT(scheduler.unique_participants(), 40u);  // rounds can't all collide
+}
+
+// ---- DesScheduler: availability traces -------------------------------------
+
+TEST(DesScheduler, NoTracesMeansAlwaysAvailable) {
+  fed::DesConfig des;
+  des.registered_clients = 100;
+  des.sample_per_round = 10;
+  fed::DesScheduler scheduler(dense_config(), des, 5);
+  for (std::size_t c = 0; c < 100; ++c) {
+    EXPECT_TRUE(scheduler.available(c, 0.0));
+    EXPECT_TRUE(scheduler.available(c, 1e9));
+  }
+}
+
+TEST(DesScheduler, DiurnalCycleTakesRoughlyTheOfflineFractionDown) {
+  fed::DesConfig des;
+  des.registered_clients = 10'000;
+  des.sample_per_round = 10;
+  des.offline_fraction = 0.5;
+  des.diurnal_period_s = 1000.0;
+  fed::DesScheduler scheduler(dense_config(), des, 6);
+  std::size_t offline = 0;
+  for (std::size_t c = 0; c < des.registered_clients; ++c) {
+    if (!scheduler.available(c, 12345.0)) ++offline;
+  }
+  // Phases are per-client uniform, so ~half the population is dark at any
+  // instant — never the whole fleet at once.
+  EXPECT_NEAR(static_cast<double>(offline) / des.registered_clients, 0.5, 0.05);
+}
+
+TEST(DesScheduler, AvailabilityIsPiecewiseStableOverTheCycle) {
+  fed::DesConfig des;
+  des.registered_clients = 50;
+  des.sample_per_round = 5;
+  des.offline_fraction = 0.3;
+  des.diurnal_period_s = 1000.0;
+  fed::DesScheduler scheduler(dense_config(), des, 8);
+  // One full period later every client is in the same phase again.
+  for (std::size_t c = 0; c < 50; ++c) {
+    EXPECT_EQ(scheduler.available(c, 100.0), scheduler.available(c, 1100.0));
+  }
+}
+
+TEST(DesScheduler, ChurnWithoutRejoinDrainsThePopulation) {
+  fed::DesConfig des;
+  des.registered_clients = 2000;
+  des.sample_per_round = 10;
+  des.churn_rate = 0.01;  // mean lifetime 100 simulated seconds
+  fed::DesScheduler scheduler(dense_config(), des, 12);
+  std::size_t alive_early = 0, alive_late = 0;
+  for (std::size_t c = 0; c < des.registered_clients; ++c) {
+    alive_early += scheduler.available(c, 1.0) ? 1 : 0;
+    alive_late += scheduler.available(c, 1e6) ? 1 : 0;
+  }
+  EXPECT_GT(alive_early, des.registered_clients * 9 / 10);
+  EXPECT_EQ(alive_late, 0u);
+}
+
+TEST(DesScheduler, RejoinCycleBringsChurnedClientsBack) {
+  fed::DesConfig des;
+  des.registered_clients = 2000;
+  des.sample_per_round = 10;
+  des.churn_rate = 0.01;
+  des.rejoin_s = 100.0;
+  fed::DesScheduler scheduler(dense_config(), des, 12);
+  std::size_t alive_late = 0;
+  for (std::size_t c = 0; c < des.registered_clients; ++c) {
+    alive_late += scheduler.available(c, 1e6) ? 1 : 0;
+  }
+  // With lifetime ~ Exp(mean 100) and a 100 s offline gap, a sizable share
+  // of the fleet is online at any late instant instead of zero.
+  EXPECT_GT(alive_late, des.registered_clients / 5);
+}
+
+TEST(DesScheduler, StragglersPayTheConfiguredPenalty) {
+  fed::DesConfig des;
+  des.registered_clients = 100;
+  des.sample_per_round = 10;
+  des.compute_s = 2.0;
+  des.compute_jitter_s = 1.0;
+  des.straggler_latency_s = 50.0;
+
+  des.straggler_fraction = 0.0;
+  fed::DesScheduler fast(dense_config(), des, 4);
+  for (std::size_t c = 0; c < 100; ++c) {
+    const double d = fast.upload_delay(c, 0, 0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+  }
+
+  des.straggler_fraction = 1.0;
+  fed::DesScheduler slow(dense_config(), des, 4);
+  for (std::size_t c = 0; c < 100; ++c) {
+    EXPECT_GE(slow.upload_delay(c, 0, 0), 52.0);
+  }
+}
+
+TEST(DesScheduler, FullyOfflinePopulationForcesTheDraw) {
+  fed::DesConfig des;
+  des.registered_clients = 500;
+  des.sample_per_round = 20;
+  des.churn_rate = 0.01;  // everyone long dead at t = 1e6, no rejoin
+  fed::DesScheduler scheduler(dense_config(), des, 13);
+  const auto plan = scheduler.plan_round(0, 0, 1e6);
+  EXPECT_EQ(plan.participants.size(), 20u);  // the round must not stall
+  EXPECT_GT(scheduler.forced_rounds(), 0u);
+}
+
+// ---- ShardedFedAvg ---------------------------------------------------------
+
+TEST(ShardedFedAvg, MatchesBatchFederatedAverage) {
+  util::Rng rng(17);
+  std::vector<fed::ModelState> states;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < 13; ++i) {
+    states.push_back({tensor::randn({3, 4}, rng), tensor::randn({5}, rng)});
+    weights.push_back(static_cast<double>(1 + (i * 7) % 9));
+  }
+  const auto batch = fed::federated_average(states, weights);
+  for (const std::size_t shards : {1u, 4u, 8u, 32u}) {
+    fed::ShardedFedAvg acc(shards);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      acc.add(states[i], weights[i]);
+    }
+    EXPECT_EQ(acc.count(), states.size());
+    const auto streamed = acc.finish();
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      // Summation order differs (per-term normalization vs. post-scale), so
+      // agreement is up to float round-off, not bitwise.
+      EXPECT_TRUE(streamed[t].all_close(batch[t], 1e-4f))
+          << "tensor " << t << " with " << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardedFedAvg, RejectsDegenerateInput) {
+  fed::ShardedFedAvg acc(4);
+  EXPECT_THROW(acc.finish(), Error);  // nothing added
+  fed::ModelState a{tensor::Tensor::scalar(1)};
+  EXPECT_THROW(acc.add(a, -1.0), Error);
+  acc.add(a, 1.0);
+  fed::ModelState ragged{tensor::Tensor::vector({1, 2})};
+  EXPECT_THROW(acc.add(ragged, 1.0), ShapeError);
+  fed::ModelState two{tensor::Tensor::scalar(1), tensor::Tensor::scalar(2)};
+  EXPECT_THROW(acc.add(two, 1.0), ShapeError);
+}
+
+TEST(ShardedFedAvg, AllZeroWeightsCannotFinish) {
+  fed::ShardedFedAvg acc(2);
+  fed::ModelState a{tensor::Tensor::scalar(3)};
+  acc.add(a, 0.0);
+  acc.add(a, 0.0);
+  EXPECT_THROW(acc.finish(), Error);
+}
+
+TEST(ShardedFedAvg, IsReusableAfterFinish) {
+  fed::ShardedFedAvg acc(3);
+  fed::ModelState a{tensor::Tensor::scalar(10)};
+  fed::ModelState b{tensor::Tensor::scalar(30)};
+  acc.add(a, 1.0);
+  acc.add(b, 1.0);
+  EXPECT_NEAR(acc.finish()[0].item(), 20.0f, 1e-5f);
+  // A fresh accumulation — including a different structure — must work.
+  fed::ModelState v{tensor::Tensor::vector({2, 4, 6})};
+  acc.add(v, 2.0);
+  const auto out = acc.finish();
+  EXPECT_TRUE(out[0].all_close(tensor::Tensor::vector({2, 4, 6})));
+}
+
+// ---- end-to-end: the DES runner --------------------------------------------
+
+TEST(DesRuntime, SameSeedReproducesTheRunExactly) {
+  fed::DesConfig des;
+  des.registered_clients = 200;
+  des.sample_per_round = 3;
+  des.offline_fraction = 0.25;
+  des.diurnal_period_s = 300.0;
+  des.compute_s = 5.0;
+  des.compute_jitter_s = 2.0;
+  const auto a = run_tiny_des(des, 90);
+  const auto b = run_tiny_des(des, 90);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].selected, b.rounds[i].selected);
+    EXPECT_EQ(a.rounds[i].bytes_down, b.rounds[i].bytes_down);
+    EXPECT_EQ(a.rounds[i].bytes_up, b.rounds[i].bytes_up);
+  }
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    EXPECT_EQ(a.tasks[t].cumulative_accuracy, b.tasks[t].cumulative_accuracy);
+  }
+  EXPECT_EQ(a.network.bytes_down, b.network.bytes_down);
+  EXPECT_EQ(a.network.bytes_up, b.network.bytes_up);
+}
+
+TEST(DesRuntime, SampleEqualToPopulationMatchesTheDenseRun) {
+  // With the registered population equal to the data population, everyone
+  // available, and the sample covering the whole fleet, the DES run trains
+  // the same client set on the same shards as the dense loop; accuracies
+  // agree up to aggregation summation order.
+  const auto spec = tiny_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+
+  auto dense_method =
+      harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  data::DatasetSpec dense_spec = spec;
+  dense_spec.clients_per_round = dense_spec.initial_clients;
+  fed::FederatedRunner dense_runner(
+      {.spec = dense_spec, .parallelism = 1, .seed = 90});
+  const auto dense = dense_runner.run(*dense_method);
+
+  fed::DesConfig des;
+  des.registered_clients = spec.initial_clients;
+  des.sample_per_round = spec.initial_clients;
+  auto des_method =
+      harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  fed::FederatedRunner des_runner(
+      {.spec = spec, .parallelism = 1, .seed = 90, .des = des});
+  const auto sampled = des_runner.run(*des_method);
+
+  ASSERT_EQ(sampled.rounds.size(), dense.rounds.size());
+  for (std::size_t i = 0; i < dense.rounds.size(); ++i) {
+    EXPECT_EQ(sampled.rounds[i].selected, dense.rounds[i].selected);
+    EXPECT_EQ(sampled.rounds[i].bytes_down, dense.rounds[i].bytes_down);
+    EXPECT_EQ(sampled.rounds[i].bytes_up, dense.rounds[i].bytes_up);
+  }
+  ASSERT_EQ(sampled.tasks.size(), dense.tasks.size());
+  for (std::size_t t = 0; t < dense.tasks.size(); ++t) {
+    EXPECT_NEAR(sampled.tasks[t].cumulative_accuracy,
+                dense.tasks[t].cumulative_accuracy, 0.1);
+  }
+}
+
+TEST(DesRuntime, StatsReconcileAcrossGranularities) {
+  fed::DesConfig des;
+  des.registered_clients = 1000;
+  des.sample_per_round = 4;
+  des.offline_fraction = 0.4;
+  des.diurnal_period_s = 120.0;
+  des.compute_s = 1.0;
+  des.compute_jitter_s = 0.5;
+  des.straggler_fraction = 0.25;
+  des.straggler_latency_s = 3.0;
+  const auto faults = fed::FaultProfile::parse("corrupt=0.2,latency=50");
+  const auto result = run_tiny_des(des, 91, faults, 0.1);
+
+  fed::NetworkStats sums;
+  std::uint64_t selected = 0;
+  for (const auto& r : result.rounds) {
+    selected += r.selected;
+    sums.bytes_down += r.bytes_down;
+    sums.bytes_up += r.bytes_up;
+    sums.dropped_updates += r.dropped;
+    sums.quarantined += r.quarantined;
+    sums.retries += r.retries;
+    sums.timed_out += r.timed_out;
+    sums.bytes_retransmitted += r.bytes_retransmitted;
+  }
+  EXPECT_GT(selected, 0u);
+  EXPECT_EQ(sums.bytes_down, result.network.bytes_down);
+  EXPECT_EQ(sums.bytes_up, result.network.bytes_up);
+  EXPECT_EQ(sums.dropped_updates, result.network.dropped_updates);
+  EXPECT_EQ(sums.quarantined, result.network.quarantined);
+  EXPECT_EQ(sums.retries, result.network.retries);
+  EXPECT_EQ(sums.timed_out, result.network.timed_out);
+  EXPECT_EQ(sums.bytes_retransmitted, result.network.bytes_retransmitted);
+}
+
+TEST(DesRuntime, DeadlineCutsStragglersBeforeTraining) {
+  // Stragglers whose simulated upload would start after the round deadline
+  // are timed out up front — the run still completes and counts them.
+  fed::DesConfig des;
+  des.registered_clients = 100;
+  des.sample_per_round = 3;
+  des.compute_s = 1.0;
+  des.straggler_fraction = 0.5;
+  des.straggler_latency_s = 1e6;  // far past any deadline
+  const auto faults = fed::FaultProfile::parse("deadline=1000");
+  const auto result = run_tiny_des(des, 92, faults);
+  EXPECT_GT(result.network.timed_out, 0u);
+  EXPECT_FALSE(result.tasks.empty());
+}

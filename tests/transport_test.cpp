@@ -313,14 +313,43 @@ TEST(TransportOutcome, ToStringCoversEveryValue) {
 
 // ---- server-side validation ------------------------------------------------
 
-TEST(ValidateStatePrefix, AcceptsRealPayloadWithTrailingExtras) {
+// Satellite regression: validate_state_prefix used to ignore trailing
+// undecoded bytes, so a duplicated/concatenated state — or any smuggled
+// suffix — sailed through quarantine validation. The payload must now be
+// consumed exactly; methods with legitimate extras supply their own
+// validator via Method::update_validator() instead.
+TEST(ValidateStatePrefix, RejectsTrailingBytesAfterTheState) {
   auto payload = serialized_state();
   EXPECT_TRUE(fed::validate_state_prefix(payload, nullptr));
-  // Method-specific extras after the state must not affect the verdict.
   payload.push_back(0xAB);
   payload.push_back(0xCD);
   std::string reason;
-  EXPECT_TRUE(fed::validate_state_prefix(payload, &reason));
+  EXPECT_FALSE(fed::validate_state_prefix(payload, &reason));
+  EXPECT_NE(reason.find("trailing"), std::string::npos);
+
+  // The classic attack shape: two whole states concatenated. Only the first
+  // would ever be aggregated, so accepting the pair would bless bytes nobody
+  // vetted.
+  auto doubled = serialized_state();
+  const auto second = serialized_state(2.0f);
+  doubled.insert(doubled.end(), second.begin(), second.end());
+  EXPECT_FALSE(fed::validate_state_prefix(doubled, &reason));
+}
+
+// Satellite regression: deserialize_state used to reserve() the claimed
+// tensor count (up to 1,000,000) before decoding a single byte, so a
+// few-byte hostile frame could make the server pre-allocate tens of MB.
+// The count must be bounded by what the remaining payload could encode.
+TEST(DeserializeState, RejectsOversizedCountBeforeReserving) {
+  util::ByteWriter writer;
+  writer.write_u64(1'000'000);  // claims a million tensors...
+  writer.write_u64(0);          // ...but carries 8 more bytes
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(fed::deserialize_state(reader), SerializationError);
+
+  std::string reason;
+  EXPECT_FALSE(fed::validate_state_prefix(writer.bytes(), &reason));
+  EXPECT_NE(reason.find("exceeds"), std::string::npos);
 }
 
 TEST(ValidateStatePrefix, RejectsGarbageAndEmptyStates) {

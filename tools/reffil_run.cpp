@@ -15,6 +15,13 @@
 //   --fault-profile S transport fault spec, comma-separated key=value pairs
 //                     (corrupt=P,poison=P,dup=P,latency=S,jitter=S,deadline=S,
 //                     retries=N,backoff=S) — see fed/transport.hpp
+//   --des SPEC        discrete-event federation, comma-separated key=value
+//                     pairs (registered=N,sample=N,offline=P,diurnal=S,
+//                     churn=R,rejoin=S,straggler=P,straggler_latency=S,
+//                     compute=S,jitter=S,interval=S,shards=N) — see
+//                     fed/scheduler.hpp. E.g. a million-client federation
+//                     sampling 10k participants per round:
+//                       --des registered=1000000,sample=10000
 //   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
 //   --json            machine-readable output
 //   --list            print datasets and methods, then exit
@@ -36,7 +43,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
                "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
-               "[--fault-profile SPEC] [--profile PATH] [--json]\n"
+               "[--fault-profile SPEC] [--des SPEC] [--profile PATH] "
+               "[--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -55,6 +63,15 @@ std::optional<harness::MethodKind> parse_method(const std::string& name) {
   return std::nullopt;
 }
 
+// Sum of per-round selected participants — under --des this counts sampled
+// cohort members (the nonzero-participation signal the CI smoke asserts on);
+// dense runs count clients_per_round per round.
+std::uint64_t total_participants(const fed::RunResult& result) {
+  std::uint64_t total = 0;
+  for (const auto& round : result.rounds) total += round.selected;
+  return total;
+}
+
 void print_json(const fed::RunResult& result) {
   std::printf("{\"method\":\"%s\",\"dataset\":\"%s\",\"avg\":%.4f,"
               "\"last\":%.4f,\"tasks\":[",
@@ -70,11 +87,13 @@ void print_json(const fed::RunResult& result) {
     }
     std::printf("]}");
   }
-  std::printf("],\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
+  std::printf("],\"participants\":%llu,"
+              "\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
               "\"dropped\":%llu,\"quarantined\":%llu,\"retries\":%llu,"
               "\"timed_out\":%llu,\"bytes_retransmitted\":%llu,"
               "\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
               "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f",
+              static_cast<unsigned long long>(total_participants(result)),
               static_cast<unsigned long long>(result.network.bytes_down),
               static_cast<unsigned long long>(result.network.bytes_up),
               static_cast<unsigned long long>(result.network.messages),
@@ -108,7 +127,7 @@ void print_json(const fed::RunResult& result) {
 
 int main(int argc, char** argv) {
   std::string dataset_name, method_name, order = "orig", scale = "scaled";
-  std::string profile_path, fault_spec;
+  std::string profile_path, fault_spec, des_spec;
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
@@ -158,6 +177,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       fault_spec = v;
+    } else if (arg == "--des") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      des_spec = v;
     } else if (arg == "--profile") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -225,6 +248,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  fed::DesConfig des;
+  if (!des_spec.empty()) {
+    try {
+      des = fed::DesConfig::parse(des_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --des: %s\n", e.what());
+      return 2;
+    }
+  }
 
   const auto scaled_spec = harness::apply_scale(spec, config.scale);
   auto method = harness::make_method(*kind, scaled_spec, config);
@@ -232,7 +264,8 @@ int main(int argc, char** argv) {
                             .parallelism = config.parallelism,
                             .seed = config.seed,
                             .dropout_probability = dropout,
-                            .faults = faults};
+                            .faults = faults,
+                            .des = des};
   fed::FederatedRunner runner(run_config);
   fed::RunResult result;
   try {
@@ -273,6 +306,11 @@ int main(int argc, char** argv) {
                       " quarantined, " +
                       std::to_string(result.network.retries) + " retries, " +
                       std::to_string(result.network.timed_out) + " timed out]";
+    }
+    if (!des_spec.empty()) {
+      std::printf("  %llu participants sampled across %zu rounds\n",
+                  static_cast<unsigned long long>(total_participants(result)),
+                  result.rounds.size());
     }
     std::printf("Avg %.2f%%  Last %.2f%%  traffic %.1f MiB down / %.1f MiB up"
                 "%s  wall %.1fs (train %.1fs, aggregate %.1fs, eval %.1fs)\n",
