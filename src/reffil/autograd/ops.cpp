@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/pool.hpp"
 #include "reffil/util/error.hpp"
@@ -629,9 +630,8 @@ Var cosine_similarity(const Var& a, const Var& b) {
 
 namespace {
 
-struct ConvGeometry {
-  std::size_t cin, h, w, kh, kw, stride, pad, hout, wout;
-};
+// Geometry shared with the dispatch-table conv lowering kernels.
+using ConvGeometry = T::kern::Conv2dGeom;
 
 ConvGeometry conv_geometry(const T::Tensor& input, std::size_t kh, std::size_t kw,
                            std::size_t stride, std::size_t pad) {
@@ -657,36 +657,11 @@ ConvGeometry conv_geometry(const T::Tensor& input, std::size_t kh, std::size_t k
 
 // Unfold input into the [Cin*kh*kw, Hout*Wout] column matrix `col` (every
 // element is written, padding as 0, so `col` need not be zeroed on entry).
+// The lowering itself lives in the dispatch table (kernels_dispatch.hpp);
+// it is pure data movement, bitwise-identical on every ISA target.
 void im2col_into(const T::Tensor& input, const ConvGeometry& g, T::Tensor& col) {
   prof::Span span("im2col", (input.numel() + col.numel()) * sizeof(float));
-  const float* pin = input.begin();
-  float* pcol = col.begin();
-  const std::size_t hw = g.hout * g.wout;
-  for (std::size_t c = 0; c < g.cin; ++c) {
-    for (std::size_t ki = 0; ki < g.kh; ++ki) {
-      for (std::size_t kj = 0; kj < g.kw; ++kj) {
-        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
-        float* dst = pcol + row * hw;
-        for (std::size_t oi = 0; oi < g.hout; ++oi) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
-              static_cast<std::ptrdiff_t>(g.pad);
-          for (std::size_t oj = 0; oj < g.wout; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
-                static_cast<std::ptrdiff_t>(g.pad);
-            float v = 0.0f;
-            if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(g.h) && jj >= 0 &&
-                jj < static_cast<std::ptrdiff_t>(g.w)) {
-              v = pin[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
-                      static_cast<std::size_t>(jj)];
-            }
-            dst[oi * g.wout + oj] = v;
-          }
-        }
-      }
-    }
-  }
+  T::kern::active().im2col(input.begin(), col.begin(), g);
 }
 
 // Scatter a column-matrix gradient back to input layout (adjoint of im2col).
@@ -694,31 +669,7 @@ void im2col_into(const T::Tensor& input, const ConvGeometry& g, T::Tensor& col) 
 void col2im_into(const T::Tensor& dcol, const ConvGeometry& g,
                  T::Tensor& dinput) {
   prof::Span span("col2im", (dcol.numel() + dinput.numel()) * sizeof(float));
-  const float* pcol = dcol.begin();
-  float* pin = dinput.begin();
-  const std::size_t hw = g.hout * g.wout;
-  for (std::size_t c = 0; c < g.cin; ++c) {
-    for (std::size_t ki = 0; ki < g.kh; ++ki) {
-      for (std::size_t kj = 0; kj < g.kw; ++kj) {
-        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
-        const float* src = pcol + row * hw;
-        for (std::size_t oi = 0; oi < g.hout; ++oi) {
-          const std::ptrdiff_t ii =
-              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
-              static_cast<std::ptrdiff_t>(g.pad);
-          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(g.h)) continue;
-          for (std::size_t oj = 0; oj < g.wout; ++oj) {
-            const std::ptrdiff_t jj =
-                static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
-                static_cast<std::ptrdiff_t>(g.pad);
-            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(g.w)) continue;
-            pin[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
-                static_cast<std::size_t>(jj)] += src[oi * g.wout + oj];
-          }
-        }
-      }
-    }
-  }
+  T::kern::active().col2im(dcol.begin(), dinput.begin(), g);
 }
 
 }  // namespace

@@ -1,28 +1,46 @@
-// Shared serial matmul micro-kernels (library-internal).
+// Scalar reference kernels (library-internal).
 //
-// ops.cpp (serial path) and parallel.cpp (row-parallel path) both call these
-// row-range kernels, so the two paths execute byte-for-byte the same
-// per-element code: the parallel layer merely hands each worker a disjoint
-// [r0, r1) slice of the output rows. That is what makes the parallel==serial
-// bitwise guarantee (DESIGN.md §6) hold by construction rather than by test
-// luck.
+// These are the bodies behind the "scalar" entry of the runtime dispatch
+// table (kernels_dispatch.hpp); the AVX2/NEON targets reimplement the same
+// contracts with vector registers. ops.cpp (serial path) and parallel.cpp
+// (row-parallel path) both reach whichever target is active through the
+// table, so the two paths execute byte-for-byte the same per-element code:
+// the parallel layer merely hands each worker a disjoint [r0, r1) slice of
+// the output rows. That is what makes the parallel==serial bitwise
+// guarantee (DESIGN.md §6) hold by construction rather than by test luck.
 //
 // Determinism contract: for every output element out[i, j], the k-dimension
-// is streamed in increasing order with one float accumulator and the same
-// skip-zero rule the original i-k-j kernel used. The i/j cache tiles only
-// reorder *which* outputs are produced when, never the accumulation order
-// within one output, so results are bitwise identical to the untiled loop.
+// is streamed in increasing order with one float accumulator. The i/j cache
+// tiles only reorder *which* outputs are produced when, never the
+// accumulation order within one output, so results are bitwise identical to
+// the untiled loop.
+//
+// IEEE semantics: every a[i,k] * b[k,j] product participates in the sum.
+// The historical `if (aik == 0.0f) continue;` shortcut is gone — it never
+// changed a finite result (adding the exact ±0 product of 0 * finite to the
+// accumulator is a no-op, and the accumulator can never be -0 under
+// round-to-nearest), but it silently masked non-finite operands: IEEE says
+// 0 * NaN = NaN and 0 * Inf = NaN, and the transport layer's poison
+// quarantine (DESIGN.md §10) relies on such NaNs surfacing downstream
+// instead of vanishing inside a matmul.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstring>
+#include <limits>
 #include <vector>
+
+#include "reffil/tensor/kernels_dispatch.hpp"
 
 namespace reffil::tensor::detail {
 
 /// Cache-tile extents. kTileJ * kTileK floats of B (64 KiB) plus a row
 /// stripe of the output stay L2-resident while K streams; the nt kernel's
-/// pack buffer is the same kTileK x kTileJ footprint.
+/// pack buffer is the same kTileK x kTileJ footprint. The SIMD targets use
+/// the same tiling, so per-element accumulation order matches across
+/// targets (only the rounding of each step may differ).
 inline constexpr std::size_t kTileJ = 128;
 inline constexpr std::size_t kTileK = 128;
 
@@ -40,7 +58,6 @@ inline void matmul_rows_nn(const float* a, const float* b, float* out,
         float* out_row = out + i * n;
         for (std::size_t kk = k0; kk < k1; ++kk) {
           const float aik = a_row[kk];
-          if (aik == 0.0f) continue;
           const float* b_row = b + kk * n;
           for (std::size_t j = j0; j < j1; ++j) out_row[j] += aik * b_row[j];
         }
@@ -57,9 +74,9 @@ inline void matmul_rows_nn(const float* a, const float* b, float* out,
 /// ~5x slower); the pack buffer restores the nn kernel's throughput at a
 /// constant 64 KiB footprint — never a full [K, n] transposed temporary,
 /// never an allocation after the first call on a thread. Per output element
-/// the accumulation still streams k upward with the skip-zero rule on the
-/// a element, so results are bitwise identical to
-/// matmul_rows_nn(a, transpose(b)). `out` rows must be zero-filled.
+/// the accumulation still streams k upward, so results are bitwise
+/// identical to matmul_rows_nn(a, transpose(b)). `out` rows must be
+/// zero-filled.
 inline void matmul_rows_nt(const float* a, const float* b, float* out,
                            std::size_t r0, std::size_t r1, std::size_t K,
                            std::size_t n) {
@@ -80,7 +97,6 @@ inline void matmul_rows_nt(const float* a, const float* b, float* out,
         float* out_row = out + i * n + j0;
         for (std::size_t kk = k0; kk < k1; ++kk) {
           const float aik = a_row[kk];
-          if (aik == 0.0f) continue;
           const float* p_row = pack.data() + (kk - k0) * jw;
           for (std::size_t j = 0; j < jw; ++j) out_row[j] += aik * p_row[j];
         }
@@ -103,12 +119,96 @@ inline void matmul_rows_tn(const float* a, const float* b, float* out,
       const float* b_row = b + kk * n;
       for (std::size_t i = r0; i < r1; ++i) {
         const float aki = a_col[i];
-        if (aki == 0.0f) continue;
         float* out_row = out + i * n;
         for (std::size_t j = j0; j < j1; ++j) out_row[j] += aki * b_row[j];
       }
     }
   }
 }
+
+// ---- blocked elementwise spans ---------------------------------------------
+// Element-independent (no accumulator crosses elements), so any block
+// partition of [lo, hi) produces bitwise-identical results; the SIMD
+// targets deliberately use unfused mul-then-add to stay bitwise equal to
+// these loops.
+
+inline void add_span(float* y, const float* x, std::size_t lo,
+                     std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) y[i] += x[i];
+}
+
+inline void axpy_span(float* y, float s, const float* x, std::size_t lo,
+                      std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) y[i] += s * x[i];
+}
+
+inline void scale_span(float* y, float s, std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) y[i] *= s;
+}
+
+// ---- row-range softmax -----------------------------------------------------
+// Degenerate-row semantics (shared by every dispatch target): a row whose
+// maximum is -inf (every logit -inf) has no information — the old code
+// computed exp(-inf - -inf) = exp(NaN) and emitted a NaN row. Defined
+// result: softmax returns the uniform distribution 1/n and log_softmax
+// returns log(1/n) = -log(n), so exp(log_softmax(x)) == softmax(x) on every
+// input. Rows containing NaN still propagate NaN (they are *poisoned*, not
+// merely uninformative — the transport quarantine wants to see them).
+
+inline void softmax_rows(const float* src, float* dst, std::size_t r0,
+                         std::size_t r1, std::size_t n) {
+  if (n == 0) return;
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* s = src + i * n;
+    float* d = dst + i * n;
+    const float mx = *std::max_element(s, s + n);
+    if (mx == -std::numeric_limits<float>::infinity()) {
+      std::fill(d, d + n, 1.0f / static_cast<float>(n));
+      continue;
+    }
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = std::exp(s[j] - mx);
+      total += d[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = static_cast<float>(d[j] / total);
+    }
+  }
+}
+
+inline void log_softmax_rows(const float* src, float* dst, std::size_t r0,
+                             std::size_t r1, std::size_t n) {
+  if (n == 0) return;
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* s = src + i * n;
+    float* d = dst + i * n;
+    const float mx = *std::max_element(s, s + n);
+    if (mx == -std::numeric_limits<float>::infinity()) {
+      std::fill(d, d + n, -std::log(static_cast<float>(n)));
+      continue;
+    }
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) total += std::exp(s[j] - mx);
+    const float log_total = static_cast<float>(std::log(total));
+    for (std::size_t j = 0; j < n; ++j) d[j] = s[j] - mx - log_total;
+  }
+}
+
+// ---- conv2d lowering -------------------------------------------------------
+// Pure data movement — bitwise identical on every target, so every dispatch
+// table points here. The stride==1 interior of each output row is one
+// contiguous input segment, copied (im2col) or accumulated (col2im) without
+// the per-tap bounds test the border pixels need; at stride 1 that turns
+// the dominant inner loop into memcpy / a trivially vectorizable += sweep.
+//
+// Defined out-of-line (kernels_scalar.cpp): every dispatch table takes these
+// functions' addresses, and an inline definition would be ODR-used from TUs
+// built with different ISA flags — one arbitrary copy would win at link
+// time. A single out-of-line definition under baseline flags keeps the
+// "bitwise identical on every target" claim true by construction.
+
+void im2col(const float* in, float* col, const kern::Conv2dGeom& g);
+void col2im(const float* dcol, float* din, const kern::Conv2dGeom& g);
 
 }  // namespace reffil::tensor::detail

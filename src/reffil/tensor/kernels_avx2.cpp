@@ -1,0 +1,88 @@
+// "avx2" dispatch target: 8-lane FMA kernels for x86-64. This translation
+// unit — and ONLY this one — is compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt), so nothing outside the table below may emit AVX2
+// instructions and the fat binary still starts on baseline x86-64; the
+// dispatcher only hands out this table after __builtin_cpu_supports says
+// the running CPU has both AVX2 and FMA.
+
+#include "reffil/tensor/kernels_dispatch.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "reffil/tensor/kernels.hpp"
+
+namespace reffil::tensor::kern {
+namespace avx2 {
+
+using vfloat = __m256;
+inline constexpr std::size_t kLanes = 8;
+
+inline vfloat vload(const float* p) { return _mm256_loadu_ps(p); }
+inline void vstore(float* p, vfloat v) { _mm256_storeu_ps(p, v); }
+inline vfloat vbroadcast(float x) { return _mm256_set1_ps(x); }
+inline vfloat vadd(vfloat a, vfloat b) { return _mm256_add_ps(a, b); }
+inline vfloat vsub(vfloat a, vfloat b) { return _mm256_sub_ps(a, b); }
+inline vfloat vmul(vfloat a, vfloat b) { return _mm256_mul_ps(a, b); }
+// maxps/minps return the second operand when either input is NaN, so with
+// the data in the second slot NaN propagates through vexp's range clamp.
+inline vfloat vmax(vfloat a, vfloat b) { return _mm256_max_ps(a, b); }
+inline vfloat vmin(vfloat a, vfloat b) { return _mm256_min_ps(a, b); }
+inline vfloat vfma(vfloat a, vfloat b, vfloat acc) {
+  return _mm256_fmadd_ps(a, b, acc);
+}
+inline float fma1(float a, float b, float acc) {
+  return __builtin_fmaf(a, b, acc);  // vfmadd*ss under -mfma: same rounding
+}
+inline vfloat vround_nearest(vfloat v) {
+  return _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+}
+inline vfloat vpow2i(vfloat n) {
+  const __m256i e =
+      _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127));
+  return _mm256_castsi256_ps(_mm256_slli_epi32(e, 23));
+}
+
+/// Fixed-order lane reductions: deterministic per target (the order is a
+/// compile-time property of this function, not of the caller's partition).
+inline float vreduce_add(vfloat v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+inline float vreduce_max(vfloat v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(s);
+}
+
+#define REFFIL_KERN_ISA_NAME "avx2"
+#include "reffil/tensor/kernels_simd.inl"
+#undef REFFIL_KERN_ISA_NAME
+
+}  // namespace avx2
+
+const Kernels* avx2_table() { return &avx2::kTable; }
+
+}  // namespace reffil::tensor::kern
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace reffil::tensor::kern {
+const Kernels* avx2_table() { return nullptr; }
+}  // namespace reffil::tensor::kern
+
+#endif

@@ -1,0 +1,119 @@
+// Runtime CPU-feature-dispatched kernel table (DESIGN.md §12).
+//
+// Every hot inner loop of the tensor layer — the matmul row kernels, the
+// blocked elementwise/axpy sweeps, the row-range softmax pair, and the conv
+// lowering (im2col/col2im) — is reached through one table of function
+// pointers resolved exactly once at startup. The binary carries every
+// target the toolchain could compile (scalar always; AVX2 on x86-64; NEON
+// on aarch64) and picks the best one the *running* CPU supports, so a
+// single fat binary runs unmodified from a baseline VM to an AVX2 server.
+//
+// Determinism contract (per dispatch target):
+//  * Within one target, results are a pure function of the inputs: the
+//    parallel layer row/block-partitions the same table kernels the serial
+//    path calls, so parallel == serial bitwise by construction, exactly as
+//    before (DESIGN.md §6).
+//  * The scalar target is bitwise-identical to the pre-dispatch kernels on
+//    finite inputs (it IS those kernels, minus the skip-zero rule, which
+//    never changed a finite result — see kernels.hpp).
+//  * Across targets, matmul and softmax may differ by rounding (FMA
+//    contraction, polynomial exp); the cross-ISA test suite bounds the
+//    divergence at 1e-5 relative. Elementwise kernels and im2col/col2im
+//    are bitwise-identical across every target (no fused ops, pure data
+//    movement).
+//
+// Selection order: the REFFIL_ISA environment variable ("scalar", "avx2",
+// "neon") wins if set — an unknown name throws, a compiled-but-unsupported
+// name falls back to scalar with a warning on stderr (the fat binary must
+// still start on a baseline host) — otherwise the best target
+// host_supports() accepts is chosen.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace reffil::tensor::kern {
+
+/// Conv2d lowering geometry shared by im2col/col2im and the autograd conv
+/// node that drives them.
+struct Conv2dGeom {
+  std::size_t cin, h, w, kh, kw, stride, pad, hout, wout;
+};
+
+/// One dispatch target. All pointers are non-null in every registered
+/// table. Row-range kernels take [r0, r1) so the parallel layer can hand
+/// each worker a disjoint slice of the same code path the serial caller
+/// uses.
+struct Kernels {
+  const char* name;
+
+  /// Rows [r0, r1) of out[m, n] += a[m, K] * b[K, n]; `out` rows zeroed on
+  /// entry. Per output element, k streams in increasing order into a single
+  /// accumulator (fused or not is the target's choice, but fixed per
+  /// target).
+  void (*matmul_rows_nn)(const float* a, const float* b, float* out,
+                         std::size_t r0, std::size_t r1, std::size_t K,
+                         std::size_t n);
+  /// Rows [r0, r1) of out[m, n] += a[m, K] * b[n, K]^T.
+  void (*matmul_rows_nt)(const float* a, const float* b, float* out,
+                         std::size_t r0, std::size_t r1, std::size_t K,
+                         std::size_t n);
+  /// Rows [r0, r1) of out[m, n] += a[K, m]^T * b[K, n].
+  void (*matmul_rows_tn)(const float* a, const float* b, float* out,
+                         std::size_t r0, std::size_t r1, std::size_t K,
+                         std::size_t m, std::size_t n);
+
+  /// y[i] += x[i] over [lo, hi). Bitwise-identical across targets.
+  void (*add)(float* y, const float* x, std::size_t lo, std::size_t hi);
+  /// y[i] += s * x[i] over [lo, hi) — mul-then-add in every target (never
+  /// fused), so results are partition-invariant and bitwise-identical
+  /// across targets.
+  void (*axpy)(float* y, float s, const float* x, std::size_t lo,
+               std::size_t hi);
+  /// y[i] *= s over [lo, hi). Bitwise-identical across targets.
+  void (*scale)(float* y, float s, std::size_t lo, std::size_t hi);
+
+  /// Rows [r0, r1) of dst = softmax(src) along n. Degenerate rows whose
+  /// maximum is -inf yield the uniform distribution 1/n; rows containing
+  /// NaN yield NaN (see DESIGN.md §12).
+  void (*softmax_rows)(const float* src, float* dst, std::size_t r0,
+                       std::size_t r1, std::size_t n);
+  /// Rows [r0, r1) of dst = log_softmax(src); degenerate all -inf rows
+  /// yield -log(n) (the log of the uniform row, so exp∘log_softmax ==
+  /// softmax holds on every input).
+  void (*log_softmax_rows)(const float* src, float* dst, std::size_t r0,
+                           std::size_t r1, std::size_t n);
+
+  /// Unfold input[cin, h, w] into col[cin*kh*kw, hout*wout] (every element
+  /// written; padding as 0). Pure data movement, bitwise-identical across
+  /// targets.
+  void (*im2col)(const float* in, float* col, const Conv2dGeom& g);
+  /// Adjoint scatter of im2col; `din` must be zero-filled on entry.
+  void (*col2im)(const float* dcol, float* din, const Conv2dGeom& g);
+};
+
+/// The table selected for this process. Resolved once on first use
+/// (REFFIL_ISA override, else best supported); stable for the process
+/// lifetime.
+const Kernels& active();
+
+/// active().name — what `reffil_run --json` reports as "isa".
+const char* active_name();
+
+/// Look up a compiled-in target by name ("scalar" | "avx2" | "neon").
+/// Returns nullptr when the name is unknown or the target was not compiled
+/// into this binary. The result may still fail host_supports().
+const Kernels* by_name(std::string_view name);
+
+/// True when the running CPU can execute this target's code.
+bool host_supports(const Kernels& k);
+
+/// Every target compiled into this binary, scalar first.
+std::vector<const Kernels*> compiled();
+
+/// compiled() filtered by host_supports() — the targets the cross-ISA
+/// equivalence suite can actually run on this machine.
+std::vector<const Kernels*> runnable();
+
+}  // namespace reffil::tensor::kern

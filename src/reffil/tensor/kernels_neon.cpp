@@ -1,0 +1,73 @@
+// "neon" dispatch target: 4-lane FMA kernels for aarch64. NEON (ASIMD) is
+// baseline on aarch64, so unlike the AVX2 TU this one needs no special
+// compile flags — the guard below simply compiles it out on other
+// architectures. armv7 NEON is intentionally excluded: the kernels rely on
+// aarch64-only round/reduce instructions (vrndnq/vmaxvq/vcvtnq) and armv7
+// NEON is not fully IEEE-compliant (flush-to-zero), which would break the
+// per-target determinism contract.
+
+#include "reffil/tensor/kernels_dispatch.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "reffil/tensor/kernels.hpp"
+
+namespace reffil::tensor::kern {
+namespace neon {
+
+using vfloat = float32x4_t;
+inline constexpr std::size_t kLanes = 4;
+
+inline vfloat vload(const float* p) { return vld1q_f32(p); }
+inline void vstore(float* p, vfloat v) { vst1q_f32(p, v); }
+inline vfloat vbroadcast(float x) { return vdupq_n_f32(x); }
+inline vfloat vadd(vfloat a, vfloat b) { return vaddq_f32(a, b); }
+inline vfloat vsub(vfloat a, vfloat b) { return vsubq_f32(a, b); }
+inline vfloat vmul(vfloat a, vfloat b) { return vmulq_f32(a, b); }
+// vmaxq/vminq propagate NaN lanewise (default NaN behavior on aarch64).
+inline vfloat vmax(vfloat a, vfloat b) { return vmaxq_f32(a, b); }
+inline vfloat vmin(vfloat a, vfloat b) { return vminq_f32(a, b); }
+inline vfloat vfma(vfloat a, vfloat b, vfloat acc) {
+  return vfmaq_f32(acc, a, b);
+}
+inline float fma1(float a, float b, float acc) {
+  return __builtin_fmaf(a, b, acc);  // single fmadd instruction on aarch64
+}
+inline vfloat vround_nearest(vfloat v) { return vrndnq_f32(v); }
+inline vfloat vpow2i(vfloat n) {
+  const int32x4_t e = vaddq_s32(vcvtnq_s32_f32(n), vdupq_n_s32(127));
+  return vreinterpretq_f32_s32(vshlq_n_s32(e, 23));
+}
+
+/// Fixed-order lane reductions (pairwise, same shape as the AVX2 target).
+inline float vreduce_add(vfloat v) {
+  const float32x2_t s = vadd_f32(vget_low_f32(v), vget_high_f32(v));
+  return vget_lane_f32(vpadd_f32(s, s), 0);
+}
+inline float vreduce_max(vfloat v) { return vmaxvq_f32(v); }
+
+#define REFFIL_KERN_ISA_NAME "neon"
+#include "reffil/tensor/kernels_simd.inl"
+#undef REFFIL_KERN_ISA_NAME
+
+}  // namespace neon
+
+const Kernels* neon_table() { return &neon::kTable; }
+
+}  // namespace reffil::tensor::kern
+
+#else  // !aarch64
+
+namespace reffil::tensor::kern {
+const Kernels* neon_table() { return nullptr; }
+}  // namespace reffil::tensor::kern
+
+#endif

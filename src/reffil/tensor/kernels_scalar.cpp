@@ -1,0 +1,128 @@
+// "scalar" dispatch target: the portable reference kernels, compiled with
+// the project's baseline flags only. This target exists on every build and
+// is the bitwise-determinism anchor — the cross-ISA equivalence suite
+// measures every other target against it, and REFFIL_ISA=scalar pins a run
+// to it for reproducibility across heterogeneous fleets.
+
+#include "reffil/tensor/kernels.hpp"
+#include "reffil/tensor/kernels_dispatch.hpp"
+
+namespace reffil::tensor::kern {
+
+namespace {
+
+constexpr Kernels kScalarTable = {
+    "scalar",
+    &detail::matmul_rows_nn,
+    &detail::matmul_rows_nt,
+    &detail::matmul_rows_tn,
+    &detail::add_span,
+    &detail::axpy_span,
+    &detail::scale_span,
+    &detail::softmax_rows,
+    &detail::log_softmax_rows,
+    &detail::im2col,
+    &detail::col2im,
+};
+
+}  // namespace
+
+const Kernels* scalar_table() { return &kScalarTable; }
+
+}  // namespace reffil::tensor::kern
+
+// Conv2d lowering — the single shared definition every dispatch table points
+// at (see the declaration comment in kernels.hpp for why it must live
+// out-of-line in exactly one baseline-flags TU).
+namespace reffil::tensor::detail {
+
+void im2col(const float* in, float* col, const kern::Conv2dGeom& g) {
+  const std::size_t hw = g.hout * g.wout;
+  for (std::size_t c = 0; c < g.cin; ++c) {
+    for (std::size_t ki = 0; ki < g.kh; ++ki) {
+      for (std::size_t kj = 0; kj < g.kw; ++kj) {
+        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        float* dst = col + row * hw;
+        for (std::size_t oi = 0; oi < g.hout; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          float* drow = dst + oi * g.wout;
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(g.h)) {
+            std::fill(drow, drow + g.wout, 0.0f);
+            continue;
+          }
+          const float* irow =
+              in + (c * g.h + static_cast<std::size_t>(ii)) * g.w;
+          if (g.stride == 1) {
+            // jj = oj + kj - pad stays in [0, w) for oj in [lo, hi).
+            const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kj) -
+                                       static_cast<std::ptrdiff_t>(g.pad);
+            const std::size_t lo = std::min(
+                g.wout, static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, -off)));
+            const std::size_t hi = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+                static_cast<std::ptrdiff_t>(g.w) - off, 0,
+                static_cast<std::ptrdiff_t>(g.wout)));
+            std::fill(drow, drow + lo, 0.0f);
+            if (hi > lo) {
+              std::memcpy(drow + lo, irow + static_cast<std::size_t>(off + static_cast<std::ptrdiff_t>(lo)),
+                          (hi - lo) * sizeof(float));
+            }
+            std::fill(drow + std::max(hi, lo), drow + g.wout, 0.0f);
+          } else {
+            for (std::size_t oj = 0; oj < g.wout; ++oj) {
+              const std::ptrdiff_t jj =
+                  static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              drow[oj] = (jj >= 0 && jj < static_cast<std::ptrdiff_t>(g.w))
+                             ? irow[static_cast<std::size_t>(jj)]
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* dcol, float* din, const kern::Conv2dGeom& g) {
+  const std::size_t hw = g.hout * g.wout;
+  for (std::size_t c = 0; c < g.cin; ++c) {
+    for (std::size_t ki = 0; ki < g.kh; ++ki) {
+      for (std::size_t kj = 0; kj < g.kw; ++kj) {
+        const std::size_t row = (c * g.kh + ki) * g.kw + kj;
+        const float* src = dcol + row * hw;
+        for (std::size_t oi = 0; oi < g.hout; ++oi) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(oi * g.stride + ki) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(g.h)) continue;
+          const float* srow = src + oi * g.wout;
+          float* irow = din + (c * g.h + static_cast<std::size_t>(ii)) * g.w;
+          if (g.stride == 1) {
+            const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kj) -
+                                       static_cast<std::ptrdiff_t>(g.pad);
+            const std::size_t lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, -off));
+            const std::size_t hi = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+                static_cast<std::ptrdiff_t>(g.w) - off, 0,
+                static_cast<std::ptrdiff_t>(g.wout)));
+            for (std::size_t oj = lo; oj < hi; ++oj) {
+              irow[static_cast<std::size_t>(off + static_cast<std::ptrdiff_t>(oj))] += srow[oj];
+            }
+          } else {
+            for (std::size_t oj = 0; oj < g.wout; ++oj) {
+              const std::ptrdiff_t jj =
+                  static_cast<std::ptrdiff_t>(oj * g.stride + kj) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (jj >= 0 && jj < static_cast<std::ptrdiff_t>(g.w)) {
+                irow[static_cast<std::size_t>(jj)] += srow[oj];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reffil::tensor::detail

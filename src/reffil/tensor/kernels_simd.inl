@@ -1,0 +1,377 @@
+// Shared SIMD kernel body (library-internal).
+//
+// Included by kernels_avx2.cpp and kernels_neon.cpp *inside* their target
+// namespace, after the including TU has defined the wrapper primitives:
+//
+//   vfloat                          native vector of kLanes floats
+//   kLanes                          lane count (8 for AVX2, 4 for NEON)
+//   vload / vstore                  unaligned load/store
+//   vbroadcast(float)               splat
+//   vadd / vsub / vmul / vmin / vmax  lanewise IEEE ops
+//   vfma(a, b, acc)                 fused acc + a*b (single rounding)
+//   fma1(a, b, acc)                 scalar fused madd, same rounding as vfma
+//   vreduce_add / vreduce_max       lane reduction (fixed lane order)
+//   vround_nearest                  lanewise round-to-nearest-even
+//   vpow2i(n)                       2^int(n) via exponent-field construction
+//   REFFIL_KERN_ISA_NAME            the table name string
+//
+// Determinism: per output element the matmul kernels perform exactly one
+// fused madd per k, k ascending, regardless of which register block, vector
+// width, or scalar tail the element lands in — so any row partition (the
+// parallel layer) and any blocking reshuffle leaves results bitwise
+// unchanged *within this target*. Elementwise kernels use unfused
+// mul-then-add so they are bitwise identical to the scalar target and
+// partition-invariant. Softmax uses the polynomial exp below (~2 ulp),
+// which is where this target diverges from scalar libm — bounded by the
+// cross-ISA 1e-5 equivalence suite.
+
+// ---- register-blocked matmul micro-kernel ----------------------------------
+
+/// OUT[di, dj] += sum_{dk < kb} A(di, dk) * B(dk, dj) for di < ib, dj < jb,
+/// with A(di, dk) = a[di*a_is + dk*a_ks], B(dk, dj) = b[dk*b_ks + dj], and
+/// OUT(di, dj) = out[di*o_is + dj]. Rows are processed four at a time so one
+/// B load feeds four accumulator sets; j is blocked two vectors wide to hide
+/// FMA latency. Accumulators start from the (zeroed or partially summed)
+/// output and are stored back once per (i-block, j-block, k-tile).
+inline void accum_block(const float* a, std::size_t a_is, std::size_t a_ks,
+                        const float* b, std::size_t b_ks, float* out,
+                        std::size_t o_is, std::size_t ib, std::size_t jb,
+                        std::size_t kb) {
+  std::size_t di = 0;
+  for (; di + 4 <= ib; di += 4) {
+    const float* a0 = a + (di + 0) * a_is;
+    const float* a1 = a + (di + 1) * a_is;
+    const float* a2 = a + (di + 2) * a_is;
+    const float* a3 = a + (di + 3) * a_is;
+    float* o0 = out + (di + 0) * o_is;
+    float* o1 = out + (di + 1) * o_is;
+    float* o2 = out + (di + 2) * o_is;
+    float* o3 = out + (di + 3) * o_is;
+    std::size_t dj = 0;
+    for (; dj + 2 * kLanes <= jb; dj += 2 * kLanes) {
+      vfloat c00 = vload(o0 + dj), c01 = vload(o0 + dj + kLanes);
+      vfloat c10 = vload(o1 + dj), c11 = vload(o1 + dj + kLanes);
+      vfloat c20 = vload(o2 + dj), c21 = vload(o2 + dj + kLanes);
+      vfloat c30 = vload(o3 + dj), c31 = vload(o3 + dj + kLanes);
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        const vfloat b0 = vload(bp + dk * b_ks);
+        const vfloat b1 = vload(bp + dk * b_ks + kLanes);
+        const vfloat va0 = vbroadcast(a0[dk * a_ks]);
+        c00 = vfma(va0, b0, c00);
+        c01 = vfma(va0, b1, c01);
+        const vfloat va1 = vbroadcast(a1[dk * a_ks]);
+        c10 = vfma(va1, b0, c10);
+        c11 = vfma(va1, b1, c11);
+        const vfloat va2 = vbroadcast(a2[dk * a_ks]);
+        c20 = vfma(va2, b0, c20);
+        c21 = vfma(va2, b1, c21);
+        const vfloat va3 = vbroadcast(a3[dk * a_ks]);
+        c30 = vfma(va3, b0, c30);
+        c31 = vfma(va3, b1, c31);
+      }
+      vstore(o0 + dj, c00);
+      vstore(o0 + dj + kLanes, c01);
+      vstore(o1 + dj, c10);
+      vstore(o1 + dj + kLanes, c11);
+      vstore(o2 + dj, c20);
+      vstore(o2 + dj + kLanes, c21);
+      vstore(o3 + dj, c30);
+      vstore(o3 + dj + kLanes, c31);
+    }
+    for (; dj + kLanes <= jb; dj += kLanes) {
+      vfloat c0 = vload(o0 + dj);
+      vfloat c1 = vload(o1 + dj);
+      vfloat c2 = vload(o2 + dj);
+      vfloat c3 = vload(o3 + dj);
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        const vfloat bv = vload(bp + dk * b_ks);
+        c0 = vfma(vbroadcast(a0[dk * a_ks]), bv, c0);
+        c1 = vfma(vbroadcast(a1[dk * a_ks]), bv, c1);
+        c2 = vfma(vbroadcast(a2[dk * a_ks]), bv, c2);
+        c3 = vfma(vbroadcast(a3[dk * a_ks]), bv, c3);
+      }
+      vstore(o0 + dj, c0);
+      vstore(o1 + dj, c1);
+      vstore(o2 + dj, c2);
+      vstore(o3 + dj, c3);
+    }
+    for (; dj < jb; ++dj) {
+      float c0 = o0[dj], c1 = o1[dj], c2 = o2[dj], c3 = o3[dj];
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        const float bv = bp[dk * b_ks];
+        c0 = fma1(a0[dk * a_ks], bv, c0);
+        c1 = fma1(a1[dk * a_ks], bv, c1);
+        c2 = fma1(a2[dk * a_ks], bv, c2);
+        c3 = fma1(a3[dk * a_ks], bv, c3);
+      }
+      o0[dj] = c0;
+      o1[dj] = c1;
+      o2[dj] = c2;
+      o3[dj] = c3;
+    }
+  }
+  for (; di < ib; ++di) {
+    const float* ar = a + di * a_is;
+    float* orow = out + di * o_is;
+    std::size_t dj = 0;
+    for (; dj + 2 * kLanes <= jb; dj += 2 * kLanes) {
+      vfloat c0 = vload(orow + dj), c1 = vload(orow + dj + kLanes);
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        const vfloat va = vbroadcast(ar[dk * a_ks]);
+        c0 = vfma(va, vload(bp + dk * b_ks), c0);
+        c1 = vfma(va, vload(bp + dk * b_ks + kLanes), c1);
+      }
+      vstore(orow + dj, c0);
+      vstore(orow + dj + kLanes, c1);
+    }
+    for (; dj + kLanes <= jb; dj += kLanes) {
+      vfloat c = vload(orow + dj);
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        c = vfma(vbroadcast(ar[dk * a_ks]), vload(bp + dk * b_ks), c);
+      }
+      vstore(orow + dj, c);
+    }
+    for (; dj < jb; ++dj) {
+      float c = orow[dj];
+      const float* bp = b + dj;
+      for (std::size_t dk = 0; dk < kb; ++dk) {
+        c = fma1(ar[dk * a_ks], bp[dk * b_ks], c);
+      }
+      orow[dj] = c;
+    }
+  }
+}
+
+// ---- matmul row kernels (same cache tiling as the scalar target) -----------
+
+inline void matmul_rows_nn(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t n) {
+  using detail::kTileJ;
+  using detail::kTileK;
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    for (std::size_t k0 = 0; k0 < K; k0 += kTileK) {
+      const std::size_t k1 = std::min(K, k0 + kTileK);
+      accum_block(a + r0 * K + k0, K, 1, b + k0 * n + j0, n,
+                  out + r0 * n + j0, n, r1 - r0, j1 - j0, k1 - k0);
+    }
+  }
+}
+
+inline void matmul_rows_nt(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t n) {
+  using detail::kTileJ;
+  using detail::kTileK;
+  thread_local std::vector<float> pack(kTileK * kTileJ);
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    const std::size_t jw = j1 - j0;
+    for (std::size_t k0 = 0; k0 < K; k0 += kTileK) {
+      const std::size_t k1 = std::min(K, k0 + kTileK);
+      for (std::size_t j = j0; j < j1; ++j) {
+        const float* b_row = b + j * K;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          pack[(kk - k0) * jw + (j - j0)] = b_row[kk];
+        }
+      }
+      accum_block(a + r0 * K + k0, K, 1, pack.data(), jw, out + r0 * n + j0,
+                  n, r1 - r0, jw, k1 - k0);
+    }
+  }
+}
+
+inline void matmul_rows_tn(const float* a, const float* b, float* out,
+                           std::size_t r0, std::size_t r1, std::size_t K,
+                           std::size_t m, std::size_t n) {
+  using detail::kTileJ;
+  using detail::kTileK;
+  // A(i, kk) = a[kk*m + i]: row stride 1, k stride m.
+  for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const std::size_t j1 = std::min(n, j0 + kTileJ);
+    for (std::size_t k0 = 0; k0 < K; k0 += kTileK) {
+      const std::size_t k1 = std::min(K, k0 + kTileK);
+      accum_block(a + k0 * m + r0, 1, m, b + k0 * n + j0, n,
+                  out + r0 * n + j0, n, r1 - r0, j1 - j0, k1 - k0);
+    }
+  }
+}
+
+// ---- blocked elementwise spans ---------------------------------------------
+// Unfused mul-then-add: bitwise identical to the scalar target per element,
+// hence partition-invariant (the block boundaries of elementwise_blocks can
+// never change a result).
+
+inline void add_span(float* y, const float* x, std::size_t lo,
+                     std::size_t hi) {
+  std::size_t i = lo;
+  for (; i + kLanes <= hi; i += kLanes) {
+    vstore(y + i, vadd(vload(y + i), vload(x + i)));
+  }
+  for (; i < hi; ++i) y[i] += x[i];
+}
+
+inline void axpy_span(float* y, float s, const float* x, std::size_t lo,
+                      std::size_t hi) {
+  const vfloat vs = vbroadcast(s);
+  std::size_t i = lo;
+  for (; i + kLanes <= hi; i += kLanes) {
+    vstore(y + i, vadd(vload(y + i), vmul(vs, vload(x + i))));
+  }
+  for (; i < hi; ++i) y[i] += s * x[i];
+}
+
+inline void scale_span(float* y, float s, std::size_t lo, std::size_t hi) {
+  const vfloat vs = vbroadcast(s);
+  std::size_t i = lo;
+  for (; i + kLanes <= hi; i += kLanes) {
+    vstore(y + i, vmul(vload(y + i), vs));
+  }
+  for (; i < hi; ++i) y[i] *= s;
+}
+
+// ---- vectorized exp (Cephes-style, ~2 ulp) ---------------------------------
+// exp(x) = 2^n * exp(r), n = round(x * log2 e), r = x - n*ln2 split in two
+// parts for precision. Inputs are clamped to the finite range of float exp;
+// NaN propagates (the clamp keeps NaN because vmax/vmin take it from the
+// second operand / lanewise-propagate it). exp(-inf) clamps to exp(-88.38),
+// which underflows to ~1e-39 — indistinguishable from 0 at the 1e-5
+// cross-ISA tolerance.
+
+inline vfloat vexp(vfloat x) {
+  x = vmin(vbroadcast(88.3762626647950f),
+           vmax(vbroadcast(-88.3762626647949f), x));
+  const vfloat fx = vround_nearest(vmul(x, vbroadcast(1.44269504088896341f)));
+  x = vsub(x, vmul(fx, vbroadcast(0.693359375f)));
+  x = vsub(x, vmul(fx, vbroadcast(-2.12194440e-4f)));
+  const vfloat z = vmul(x, x);
+  vfloat y = vbroadcast(1.9875691500e-4f);
+  y = vfma(y, x, vbroadcast(1.3981999507e-3f));
+  y = vfma(y, x, vbroadcast(8.3334519073e-3f));
+  y = vfma(y, x, vbroadcast(4.1665795894e-2f));
+  y = vfma(y, x, vbroadcast(1.6666665459e-1f));
+  y = vfma(y, x, vbroadcast(5.0000001201e-1f));
+  y = vfma(y, z, x);
+  y = vadd(y, vbroadcast(1.0f));
+  return vmul(y, vpow2i(fx));
+}
+
+// ---- row-range softmax -----------------------------------------------------
+// Same degenerate-row semantics as the scalar target (kernels.hpp): an
+// all -inf row yields uniform 1/n (softmax) / -log(n) (log_softmax); NaN
+// rows propagate NaN. The vector path sums exp in float lane-order (fixed,
+// hence deterministic per target); row tails shorter than a vector use
+// scalar libm exp — also fixed per row length, so still deterministic.
+
+inline void softmax_rows(const float* src, float* dst, std::size_t r0,
+                         std::size_t r1, std::size_t n) {
+  if (n == 0) return;
+  const float ninf = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* s = src + i * n;
+    float* d = dst + i * n;
+    float mx = ninf;
+    std::size_t j = 0;
+    if (n >= kLanes) {
+      vfloat vm = vload(s);
+      for (j = kLanes; j + kLanes <= n; j += kLanes) {
+        vm = vmax(vm, vload(s + j));
+      }
+      mx = vreduce_max(vm);
+    }
+    for (; j < n; ++j) mx = std::max(mx, s[j]);
+    if (mx == ninf) {
+      std::fill(d, d + n, 1.0f / static_cast<float>(n));
+      continue;
+    }
+    const vfloat vmx = vbroadcast(mx);
+    float total = 0.0f;
+    j = 0;
+    if (n >= kLanes) {
+      vfloat vt = vbroadcast(0.0f);
+      for (; j + kLanes <= n; j += kLanes) {
+        const vfloat e = vexp(vsub(vload(s + j), vmx));
+        vstore(d + j, e);
+        vt = vadd(vt, e);
+      }
+      total = vreduce_add(vt);
+    }
+    for (; j < n; ++j) {
+      d[j] = std::exp(s[j] - mx);
+      total += d[j];
+    }
+    const float inv = 1.0f / total;
+    const vfloat vinv = vbroadcast(inv);
+    j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      vstore(d + j, vmul(vload(d + j), vinv));
+    }
+    for (; j < n; ++j) d[j] *= inv;
+  }
+}
+
+inline void log_softmax_rows(const float* src, float* dst, std::size_t r0,
+                             std::size_t r1, std::size_t n) {
+  if (n == 0) return;
+  const float ninf = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* s = src + i * n;
+    float* d = dst + i * n;
+    float mx = ninf;
+    std::size_t j = 0;
+    if (n >= kLanes) {
+      vfloat vm = vload(s);
+      for (j = kLanes; j + kLanes <= n; j += kLanes) {
+        vm = vmax(vm, vload(s + j));
+      }
+      mx = vreduce_max(vm);
+    }
+    for (; j < n; ++j) mx = std::max(mx, s[j]);
+    if (mx == ninf) {
+      std::fill(d, d + n, -std::log(static_cast<float>(n)));
+      continue;
+    }
+    const vfloat vmx = vbroadcast(mx);
+    float total = 0.0f;
+    j = 0;
+    if (n >= kLanes) {
+      vfloat vt = vbroadcast(0.0f);
+      for (; j + kLanes <= n; j += kLanes) {
+        vt = vadd(vt, vexp(vsub(vload(s + j), vmx)));
+      }
+      total = vreduce_add(vt);
+    }
+    for (; j < n; ++j) total += std::exp(s[j] - mx);
+    const float log_total = std::log(total);
+    const vfloat vlt = vbroadcast(log_total);
+    j = 0;
+    for (; j + kLanes <= n; j += kLanes) {
+      vstore(d + j, vsub(vsub(vload(s + j), vmx), vlt));
+    }
+    for (; j < n; ++j) d[j] = (s[j] - mx) - log_total;
+  }
+}
+
+// ---- table -----------------------------------------------------------------
+// im2col/col2im are pure data movement and shared with the scalar target so
+// every ISA is bitwise-identical on them by construction.
+
+inline constexpr Kernels kTable = {
+    REFFIL_KERN_ISA_NAME,
+    &matmul_rows_nn,
+    &matmul_rows_nt,
+    &matmul_rows_tn,
+    &add_span,
+    &axpy_span,
+    &scale_span,
+    &softmax_rows,
+    &log_softmax_rows,
+    &detail::im2col,
+    &detail::col2im,
+};

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "reffil/tensor/kernels.hpp"
+#include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/tensor/parallel.hpp"
 #include "reffil/util/prof.hpp"
 
@@ -143,8 +143,9 @@ void add_inplace(Tensor& a, const Tensor& b) {
   require_same_shape(a, b, "add_inplace");
   float* pa = a.begin();
   const float* pb = b.begin();
+  const kern::Kernels& k = kern::active();
   elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) pa[i] += pb[i];
+    k.add(pa, pb, lo, hi);
   });
 }
 
@@ -152,15 +153,17 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   require_same_shape(a, b, "axpy_inplace");
   float* pa = a.begin();
   const float* pb = b.begin();
+  const kern::Kernels& k = kern::active();
   elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) pa[i] += s * pb[i];
+    k.axpy(pa, s, pb, lo, hi);
   });
 }
 
 void scale_inplace(Tensor& a, float s) {
   float* pa = a.begin();
+  const kern::Kernels& k = kern::active();
   elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) pa[i] *= s;
+    k.scale(pa, s, lo, hi);
   });
 }
 
@@ -210,7 +213,8 @@ void matmul_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_into(a, b, out);
   } else {
-    detail::matmul_rows_nn(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.n);
+    kern::active().matmul_rows_nn(a.begin(), b.begin(), out.begin(), 0, d.m,
+                                  d.k, d.n);
   }
 }
 
@@ -220,7 +224,8 @@ void matmul_nt_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_nt_into(a, b, out);
   } else {
-    detail::matmul_rows_nt(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.n);
+    kern::active().matmul_rows_nt(a.begin(), b.begin(), out.begin(), 0, d.m,
+                                  d.k, d.n);
   }
 }
 
@@ -230,8 +235,8 @@ void matmul_tn_dispatch(const Tensor& a, const Tensor& b, Tensor& out,
   if (P::should_parallelize(d.m * d.n * d.k, P::kMatmulFlopThreshold)) {
     P::matmul_tn_into(a, b, out);
   } else {
-    detail::matmul_rows_tn(a.begin(), b.begin(), out.begin(), 0, d.m, d.k, d.m,
-                           d.n);
+    kern::active().matmul_rows_tn(a.begin(), b.begin(), out.begin(), 0, d.m,
+                                  d.k, d.m, d.n);
   }
 }
 
@@ -400,19 +405,13 @@ Tensor softmax_rows(const Tensor& logits) {
   obs::prof::Span span("softmax_rows", 2 * m * n * sizeof(float));
   Tensor out({m, n});
   // Rows are independent, so the attention score matrices ([T, T] per head)
-  // partition cleanly across workers; per-row arithmetic is unchanged.
+  // partition cleanly across workers; per-row arithmetic lives in the
+  // dispatch table (degenerate-row semantics documented there).
+  const kern::Kernels& k = kern::active();
+  const float* src = logits.begin();
+  float* dst = out.begin();
   auto rows = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* src = logits.begin() + i * n;
-      float* dst = out.begin() + i * n;
-      const float mx = *std::max_element(src, src + n);
-      double total = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        dst[j] = std::exp(src[j] - mx);
-        total += dst[j];
-      }
-      for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(dst[j] / total);
-    }
+    k.softmax_rows(src, dst, lo, hi, n);
   };
   if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
       m >= P::kRowThreshold) {
@@ -428,16 +427,11 @@ Tensor log_softmax_rows(const Tensor& logits) {
   const std::size_t m = logits.dim(0), n = logits.dim(1);
   obs::prof::Span span("log_softmax_rows", 2 * m * n * sizeof(float));
   Tensor out({m, n});
+  const kern::Kernels& k = kern::active();
+  const float* src = logits.begin();
+  float* dst = out.begin();
   auto rows = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* src = logits.begin() + i * n;
-      float* dst = out.begin() + i * n;
-      const float mx = *std::max_element(src, src + n);
-      double total = 0.0;
-      for (std::size_t j = 0; j < n; ++j) total += std::exp(src[j] - mx);
-      const float log_total = static_cast<float>(std::log(total));
-      for (std::size_t j = 0; j < n; ++j) dst[j] = src[j] - mx - log_total;
-    }
+    k.log_softmax_rows(src, dst, lo, hi, n);
   };
   if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
       m >= P::kRowThreshold) {

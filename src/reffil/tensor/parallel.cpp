@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
-#include "reffil/tensor/kernels.hpp"
+#include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/util/thread_pool.hpp"
 
 namespace reffil::tensor::parallel {
@@ -48,12 +48,14 @@ void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
-  // Partition output rows; each block runs the shared tiled row kernel with
-  // the serial per-element order, so the result is bitwise equal to the
-  // serial path.
+  // Partition output rows; each block runs the active dispatch target's
+  // row kernel — the same one the serial path calls — with the serial
+  // per-element order, so the result is bitwise equal to the serial path
+  // within every target.
+  const kern::Kernels& kt = kern::active();
   for_range(out.dim(0), matmul_row_grain(k, n),
             [&](std::size_t lo, std::size_t hi) {
-              detail::matmul_rows_nn(pa, pb, po, lo, hi, k, n);
+              kt.matmul_rows_nn(pa, pb, po, lo, hi, k, n);
             });
 }
 
@@ -62,9 +64,10 @@ void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
+  const kern::Kernels& kt = kern::active();
   for_range(out.dim(0), matmul_row_grain(k, n),
             [&](std::size_t lo, std::size_t hi) {
-              detail::matmul_rows_nt(pa, pb, po, lo, hi, k, n);
+              kt.matmul_rows_nt(pa, pb, po, lo, hi, k, n);
             });
 }
 
@@ -73,9 +76,10 @@ void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
+  const kern::Kernels& kt = kern::active();
   for_range(out.dim(0), matmul_row_grain(k, n),
             [&](std::size_t lo, std::size_t hi) {
-              detail::matmul_rows_tn(pa, pb, po, lo, hi, k, m, n);
+              kt.matmul_rows_tn(pa, pb, po, lo, hi, k, m, n);
             });
 }
 

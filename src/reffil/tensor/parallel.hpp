@@ -3,7 +3,9 @@
 // Every kernel here partitions its output across disjoint row/element blocks,
 // so each output element is written by exactly one thread with the same
 // per-element operation order as the serial kernel — results are therefore
-// bitwise identical to the serial code regardless of thread count. ops.cpp
+// bitwise identical to the serial code regardless of thread count. Both
+// sides call through the runtime dispatch table (kernels_dispatch.hpp), so
+// the guarantee holds within whichever ISA target is active. ops.cpp
 // dispatches to this layer above the thresholds below and keeps the plain
 // serial loops underneath them, so small tensors never pay fork/join
 // overhead and the parallel threshold is also a determinism boundary that is

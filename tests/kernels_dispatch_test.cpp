@@ -1,0 +1,499 @@
+// Tests for the runtime-dispatched kernel table (tensor/kernels_dispatch.*).
+//
+// Four contracts:
+//  * Registry sanity — scalar always exists, active() is runnable, REFFIL_ISA
+//    (when the suite is run under it, as the CI ISA matrix does) pins the
+//    choice.
+//  * Cross-ISA equivalence — every target the host can run agrees with the
+//    scalar target: matmul/softmax within 1e-5 relative (SIMD targets may
+//    fuse multiply-adds and use a polynomial exp), elementwise and the conv
+//    lowering bitwise.
+//  * IEEE semantics — a zero in `a` no longer masks NaN/Inf in `b` (the
+//    skip-zero bug): 0 * NaN = NaN must reach the output on every target,
+//    because the transport layer's poison quarantine (DESIGN.md §10) relies
+//    on NaNs surfacing.
+//  * Degenerate softmax rows — all -inf logits produce the uniform row
+//    (softmax) / -log(n) (log_softmax) instead of NaN; NaN rows still
+//    propagate NaN.
+//
+// Everything here runs by calling table function pointers directly, so the
+// whole matrix is exercised in one process regardless of which target
+// active() picked — and the suite runs under ASan/TSan via the existing
+// sanitizer CI jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "reffil/tensor/kernels_dispatch.hpp"
+#include "reffil/tensor/ops.hpp"
+#include "reffil/tensor/parallel.hpp"
+#include "reffil/tensor/tensor.hpp"
+#include "reffil/util/rng.hpp"
+
+namespace T = reffil::tensor;
+namespace kern = reffil::tensor::kern;
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  reffil::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+void expect_rel_close(const std::vector<float>& got,
+                      const std::vector<float>& ref, const char* what) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-5f * std::max(1.0f, std::abs(ref[i])) + 1e-7f;
+    ASSERT_NEAR(got[i], ref[i], tol) << what << " flat index " << i;
+  }
+}
+
+void expect_bitwise(const std::vector<float>& got,
+                    const std::vector<float>& ref, const char* what) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << what << " flat index " << i;
+  }
+}
+
+/// Non-scalar runnable targets (the ones to compare against scalar). Empty
+/// on a host with no SIMD support — every test over it then passes
+/// trivially, which is correct: there is nothing to diverge.
+std::vector<const kern::Kernels*> simd_targets() {
+  std::vector<const kern::Kernels*> out;
+  for (const kern::Kernels* k : kern::runnable()) {
+    if (std::string_view(k->name) != "scalar") out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- registry --------------------------------------------------------------
+
+TEST(KernelDispatch, ScalarAlwaysCompiledAndFirst) {
+  const auto all = kern::compiled();
+  ASSERT_FALSE(all.empty());
+  EXPECT_STREQ(all.front()->name, "scalar");
+  EXPECT_TRUE(kern::host_supports(*all.front()));
+}
+
+TEST(KernelDispatch, ActiveIsRunnable) {
+  const kern::Kernels& a = kern::active();
+  bool found = false;
+  for (const kern::Kernels* k : kern::runnable()) found |= (k == &a);
+  EXPECT_TRUE(found) << "active() returned a target the host cannot run";
+  EXPECT_STREQ(kern::active_name(), a.name);
+}
+
+TEST(KernelDispatch, ByNameRoundTripsAndRejectsUnknown) {
+  for (const kern::Kernels* k : kern::compiled()) {
+    EXPECT_EQ(kern::by_name(k->name), k);
+  }
+  EXPECT_EQ(kern::by_name("mmx"), nullptr);
+  EXPECT_EQ(kern::by_name(""), nullptr);
+}
+
+TEST(KernelDispatch, EnvOverridePinsActiveTarget) {
+  // The CI ISA matrix runs the whole suite under REFFIL_ISA=scalar (and the
+  // host's best). When the override is present it must have won.
+  if (const char* env = std::getenv("REFFIL_ISA"); env != nullptr && *env) {
+    EXPECT_STREQ(kern::active_name(), env);
+  } else {
+    GTEST_SKIP() << "REFFIL_ISA not set";
+  }
+}
+
+// ---- cross-ISA equivalence -------------------------------------------------
+
+class CrossIsaShapes
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(CrossIsaShapes, MatmulFamilyMatchesScalarWithin1e5) {
+  const auto [m, k, n] = GetParam();
+  const kern::Kernels* scalar = kern::by_name("scalar");
+  ASSERT_NE(scalar, nullptr);
+  auto a = random_vec(m * k, m * 7919 + k * 53 + n);
+  auto b = random_vec(k * n, m * 13 + k * 9973 + n);
+  auto bt = random_vec(n * k, m * 17 + k * 29 + n * 31);  // [n, K] for nt
+  auto at = random_vec(k * m, m * 37 + k * 3 + n * 11);   // [K, m] for tn
+  // Planted zeros exercise the exact-±0 product path on every target.
+  for (std::size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+  for (std::size_t i = 0; i < b.size(); i += 5) b[i] = 0.0f;
+
+  std::vector<float> ref_nn(m * n, 0.0f), ref_nt(m * n, 0.0f),
+      ref_tn(m * n, 0.0f);
+  scalar->matmul_rows_nn(a.data(), b.data(), ref_nn.data(), 0, m, k, n);
+  scalar->matmul_rows_nt(a.data(), bt.data(), ref_nt.data(), 0, m, k, n);
+  scalar->matmul_rows_tn(at.data(), b.data(), ref_tn.data(), 0, m, k, m, n);
+
+  for (const kern::Kernels* t : simd_targets()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> out(m * n, 0.0f);
+    t->matmul_rows_nn(a.data(), b.data(), out.data(), 0, m, k, n);
+    expect_rel_close(out, ref_nn, "nn");
+    std::fill(out.begin(), out.end(), 0.0f);
+    t->matmul_rows_nt(a.data(), bt.data(), out.data(), 0, m, k, n);
+    expect_rel_close(out, ref_nt, "nt");
+    std::fill(out.begin(), out.end(), 0.0f);
+    t->matmul_rows_tn(at.data(), b.data(), out.data(), 0, m, k, m, n);
+    expect_rel_close(out, ref_tn, "tn");
+  }
+}
+
+// Shapes straddle the cache tiles (128) AND the register micro-kernel's
+// 4-row / 2-vector blocking: degenerate 1-dims, sub-block sizes, exact
+// multiples and off-by-ones around both boundaries.
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CrossIsaShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(4, 16, 16), std::make_tuple(5, 7, 9),
+                      std::make_tuple(8, 32, 24), std::make_tuple(7, 64, 17),
+                      std::make_tuple(33, 129, 127),
+                      std::make_tuple(64, 200, 130),
+                      std::make_tuple(5, 300, 2)));
+
+TEST(CrossIsa, MatmulRowPartitionIsBitwiseInvariantPerTarget) {
+  // The parallel layer hands each worker a [r0, r1) slice; any split must
+  // reproduce the full-range result bitwise within one target.
+  const std::size_t m = 13, k = 37, n = 21;
+  const auto a = random_vec(m * k, 101);
+  const auto b = random_vec(k * n, 103);
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> whole(m * n, 0.0f), split(m * n, 0.0f);
+    t->matmul_rows_nn(a.data(), b.data(), whole.data(), 0, m, k, n);
+    t->matmul_rows_nn(a.data(), b.data(), split.data(), 0, 5, k, n);
+    t->matmul_rows_nn(a.data(), b.data(), split.data(), 5, 6, k, n);
+    t->matmul_rows_nn(a.data(), b.data(), split.data(), 6, m, k, n);
+    expect_bitwise(split, whole, "row split");
+  }
+}
+
+TEST(CrossIsa, ElementwiseBitwiseMatchesScalarAndPartition) {
+  const std::size_t n = 1003;  // odd: forces scalar tails at every width
+  const kern::Kernels* scalar = kern::by_name("scalar");
+  const auto x = random_vec(n, 7);
+  const auto y0 = random_vec(n, 11);
+  const float s = 0.3127f;
+
+  auto run = [&](const kern::Kernels* t, bool split) {
+    std::vector<float> add = y0, axpy = y0, scale = y0;
+    if (split) {
+      // Misaligned partition boundaries: a fused-vector-body/unfused-tail
+      // bug would make results depend on where the blocks land.
+      for (const auto& [lo, hi] :
+           {std::pair<std::size_t, std::size_t>{0, 129},
+            std::pair<std::size_t, std::size_t>{129, 130},
+            std::pair<std::size_t, std::size_t>{130, 767},
+            std::pair<std::size_t, std::size_t>{767, n}}) {
+        t->add(add.data(), x.data(), lo, hi);
+        t->axpy(axpy.data(), s, x.data(), lo, hi);
+        t->scale(scale.data(), s, lo, hi);
+      }
+    } else {
+      t->add(add.data(), x.data(), 0, n);
+      t->axpy(axpy.data(), s, x.data(), 0, n);
+      t->scale(scale.data(), s, 0, n);
+    }
+    return std::make_tuple(add, axpy, scale);
+  };
+
+  const auto [radd, raxpy, rscale] = run(scalar, false);
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    for (bool split : {false, true}) {
+      const auto [add, axpy, scale] = run(t, split);
+      expect_bitwise(add, radd, split ? "add split" : "add");
+      expect_bitwise(axpy, raxpy, split ? "axpy split" : "axpy");
+      expect_bitwise(scale, rscale, split ? "scale split" : "scale");
+    }
+  }
+}
+
+TEST(CrossIsa, SoftmaxMatchesScalarWithin1e5) {
+  const kern::Kernels* scalar = kern::by_name("scalar");
+  for (const std::size_t n : {1u, 3u, 8u, 10u, 33u, 200u}) {
+    const std::size_t m = 9;
+    // Wide logit range stresses the polynomial exp across many octaves.
+    reffil::util::Rng rng(n * 131);
+    std::vector<float> src(m * n);
+    for (float& v : src) v = static_cast<float>(rng.uniform(-30.0, 30.0));
+    std::vector<float> ref_sm(m * n), ref_lsm(m * n);
+    scalar->softmax_rows(src.data(), ref_sm.data(), 0, m, n);
+    scalar->log_softmax_rows(src.data(), ref_lsm.data(), 0, m, n);
+    for (const kern::Kernels* t : simd_targets()) {
+      SCOPED_TRACE(std::string(t->name) + " n=" + std::to_string(n));
+      std::vector<float> out(m * n);
+      t->softmax_rows(src.data(), out.data(), 0, m, n);
+      expect_rel_close(out, ref_sm, "softmax");
+      t->log_softmax_rows(src.data(), out.data(), 0, m, n);
+      expect_rel_close(out, ref_lsm, "log_softmax");
+    }
+  }
+}
+
+TEST(CrossIsa, Im2colSharedAcrossTargetsAndMatchesNaive) {
+  // The conv lowering is pure data movement: every target must produce the
+  // byte-identical column matrix. The scalar body's stride==1 memcpy fast
+  // path is checked against a naive per-tap reference here.
+  for (const std::size_t stride : {1u, 2u}) {
+    for (const std::size_t pad : {0u, 1u, 3u}) {
+      const kern::Conv2dGeom g{/*cin=*/2, /*h=*/5,  /*w=*/6,
+                               /*kh=*/3,  /*kw=*/3, stride,
+                               pad,       (5 + 2 * pad - 3) / stride + 1,
+                               (6 + 2 * pad - 3) / stride + 1};
+      const auto in = random_vec(g.cin * g.h * g.w, stride * 7 + pad);
+      const std::size_t hw = g.hout * g.wout;
+      const std::size_t rows = g.cin * g.kh * g.kw;
+      std::vector<float> naive(rows * hw, -1.0f);
+      for (std::size_t c = 0; c < g.cin; ++c) {
+        for (std::size_t ki = 0; ki < g.kh; ++ki) {
+          for (std::size_t kj = 0; kj < g.kw; ++kj) {
+            for (std::size_t oi = 0; oi < g.hout; ++oi) {
+              for (std::size_t oj = 0; oj < g.wout; ++oj) {
+                const std::ptrdiff_t ii =
+                    static_cast<std::ptrdiff_t>(oi * stride + ki) -
+                    static_cast<std::ptrdiff_t>(pad);
+                const std::ptrdiff_t jj =
+                    static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                    static_cast<std::ptrdiff_t>(pad);
+                float v = 0.0f;
+                if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(g.h) &&
+                    jj >= 0 && jj < static_cast<std::ptrdiff_t>(g.w)) {
+                  v = in[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                         static_cast<std::size_t>(jj)];
+                }
+                naive[((c * g.kh + ki) * g.kw + kj) * hw + oi * g.wout + oj] =
+                    v;
+              }
+            }
+          }
+        }
+      }
+      for (const kern::Kernels* t : kern::runnable()) {
+        SCOPED_TRACE(std::string(t->name) + " stride=" +
+                     std::to_string(stride) + " pad=" + std::to_string(pad));
+        std::vector<float> col(rows * hw, -2.0f);
+        t->im2col(in.data(), col.data(), g);
+        expect_bitwise(col, naive, "im2col");
+        // col2im is the adjoint: scattering the lowered matrix back must
+        // accumulate each input pixel once per in-bounds tap covering it.
+        std::vector<float> din(g.cin * g.h * g.w, 0.0f);
+        t->col2im(col.data(), din.data(), g);
+        std::vector<float> dref(g.cin * g.h * g.w, 0.0f);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const std::size_t c = r / (g.kh * g.kw);
+          const std::size_t ki = (r / g.kw) % g.kh;
+          const std::size_t kj = r % g.kw;
+          for (std::size_t oi = 0; oi < g.hout; ++oi) {
+            for (std::size_t oj = 0; oj < g.wout; ++oj) {
+              const std::ptrdiff_t ii =
+                  static_cast<std::ptrdiff_t>(oi * stride + ki) -
+                  static_cast<std::ptrdiff_t>(pad);
+              const std::ptrdiff_t jj =
+                  static_cast<std::ptrdiff_t>(oj * stride + kj) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (ii >= 0 && ii < static_cast<std::ptrdiff_t>(g.h) &&
+                  jj >= 0 && jj < static_cast<std::ptrdiff_t>(g.w)) {
+                dref[(c * g.h + static_cast<std::size_t>(ii)) * g.w +
+                     static_cast<std::size_t>(jj)] +=
+                    naive[r * hw + oi * g.wout + oj];
+              }
+            }
+          }
+        }
+        expect_bitwise(din, dref, "col2im");
+      }
+    }
+  }
+}
+
+// ---- IEEE semantics: the skip-zero NaN-masking fix -------------------------
+
+TEST(KernelSemantics, ZeroTimesNaNPropagatesOnEveryTarget) {
+  // Regression for the skip-zero bug: a[i0, k0] == 0 with b[k0, *] == NaN
+  // used to skip the whole product row and emit a finite (wrong) output.
+  const std::size_t m = 6, k = 9, n = 7;
+  const std::size_t i0 = 2, k0 = 4, j0 = 3;
+  auto a = random_vec(m * k, 41);
+  a[i0 * k + k0] = 0.0f;
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    {
+      auto b = random_vec(k * n, 43);
+      b[k0 * n + j0] = kNaN;
+      std::vector<float> out(m * n, 0.0f);
+      t->matmul_rows_nn(a.data(), b.data(), out.data(), 0, m, k, n);
+      EXPECT_TRUE(std::isnan(out[i0 * n + j0])) << "nn: 0 * NaN vanished";
+      // The poison is confined to column j0 (the only outputs whose sums
+      // touch b[k0, j0]); every other column stays finite.
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == j0) {
+            EXPECT_TRUE(std::isnan(out[i * n + j])) << "nn row " << i;
+          } else {
+            EXPECT_TRUE(std::isfinite(out[i * n + j]))
+                << "nn: NaN leaked to column " << j;
+          }
+        }
+      }
+    }
+    {
+      // 0 * Inf must also be NaN, not 0.
+      auto b = random_vec(k * n, 47);
+      b[k0 * n + j0] = kInf;
+      std::vector<float> out(m * n, 0.0f);
+      t->matmul_rows_nn(a.data(), b.data(), out.data(), 0, m, k, n);
+      EXPECT_TRUE(std::isnan(out[i0 * n + j0])) << "nn: 0 * Inf vanished";
+    }
+    {
+      auto bt = random_vec(n * k, 53);  // [n, K]
+      bt[j0 * k + k0] = kNaN;
+      std::vector<float> out(m * n, 0.0f);
+      t->matmul_rows_nt(a.data(), bt.data(), out.data(), 0, m, k, n);
+      EXPECT_TRUE(std::isnan(out[i0 * n + j0])) << "nt: 0 * NaN vanished";
+    }
+    {
+      auto at = random_vec(k * m, 59);  // [K, m]
+      at[k0 * m + i0] = 0.0f;
+      auto b = random_vec(k * n, 61);
+      b[k0 * n + j0] = kNaN;
+      std::vector<float> out(m * n, 0.0f);
+      t->matmul_rows_tn(at.data(), b.data(), out.data(), 0, m, k, m, n);
+      EXPECT_TRUE(std::isnan(out[i0 * n + j0])) << "tn: 0 * NaN vanished";
+    }
+  }
+}
+
+TEST(KernelSemantics, PublicMatmulPropagatesPlantedNaN) {
+  // End-to-end via the active target: the transport quarantine's NaN
+  // detection depends on this surviving whatever ISA is selected.
+  reffil::util::Rng rng(71);
+  auto a = T::randn({4, 6}, rng);
+  auto b = T::randn({6, 5}, rng);
+  a.at(1 * 6 + 2) = 0.0f;
+  b.at(2 * 5 + 3) = kNaN;
+  const auto out = T::matmul(a, b);
+  EXPECT_TRUE(std::isnan(out.at(1 * 5 + 3)));
+}
+
+// ---- degenerate softmax rows -----------------------------------------------
+
+TEST(KernelSemantics, AllNegInfRowYieldsUniformSoftmax) {
+  const std::size_t n = 5;
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> src(2 * n, -kInf);
+    // Second row stays ordinary to prove the guard is per-row.
+    for (std::size_t j = 0; j < n; ++j) src[n + j] = static_cast<float>(j);
+    std::vector<float> sm(2 * n, -1.0f), lsm(2 * n, -1.0f);
+    t->softmax_rows(src.data(), sm.data(), 0, 2, n);
+    t->log_softmax_rows(src.data(), lsm.data(), 0, 2, n);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(sm[j], 1.0f / static_cast<float>(n));
+      EXPECT_FLOAT_EQ(lsm[j], -std::log(static_cast<float>(n)));
+      total += sm[n + j];
+      EXPECT_TRUE(std::isfinite(sm[n + j]));
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(KernelSemantics, MinusInfLogitsGetZeroProbability) {
+  // A row with a finite max and some -inf entries is NOT degenerate: the
+  // -inf logits must get (numerically) zero probability, the rest a proper
+  // distribution.
+  const std::size_t n = 4;
+  std::vector<float> src = {-kInf, 2.0f, -kInf, 2.0f};
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> sm(n);
+    t->softmax_rows(src.data(), sm.data(), 0, 1, n);
+    EXPECT_NEAR(sm[0], 0.0f, 1e-6f);
+    EXPECT_NEAR(sm[2], 0.0f, 1e-6f);
+    EXPECT_NEAR(sm[1], 0.5f, 1e-5f);
+    EXPECT_NEAR(sm[3], 0.5f, 1e-5f);
+  }
+}
+
+TEST(KernelSemantics, NaNRowStaysNaN) {
+  const std::size_t n = 6;
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> src(n, 1.0f);
+    src[4] = kNaN;
+    std::vector<float> sm(n, 0.0f), lsm(n, 0.0f);
+    t->softmax_rows(src.data(), sm.data(), 0, 1, n);
+    t->log_softmax_rows(src.data(), lsm.data(), 0, 1, n);
+    // The poisoned element must come out NaN — and because the row sum is
+    // NaN, the whole row is NaN on every target.
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_TRUE(std::isnan(sm[j])) << "softmax j=" << j;
+      EXPECT_TRUE(std::isnan(lsm[j])) << "log_softmax j=" << j;
+    }
+  }
+}
+
+TEST(KernelSemantics, PublicSoftmaxHandlesDegenerateRows) {
+  // Through the public op (active target + parallel dispatch path).
+  T::Tensor logits({2, 3});
+  logits.at(0) = -kInf;
+  logits.at(1) = -kInf;
+  logits.at(2) = -kInf;
+  logits.at(3) = 0.0f;
+  logits.at(4) = 1.0f;
+  logits.at(5) = 2.0f;
+  const auto sm = T::softmax_rows(logits);
+  const auto lsm = T::log_softmax_rows(logits);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(sm.at(j), 1.0f / 3.0f);
+    EXPECT_FLOAT_EQ(lsm.at(j), -std::log(3.0f));
+    EXPECT_TRUE(std::isfinite(sm.at(3 + j)));
+  }
+  // exp(log_softmax) == softmax holds on the degenerate row too.
+  EXPECT_NEAR(std::exp(lsm.at(0)), sm.at(0), 1e-6f);
+}
+
+TEST(KernelSemantics, SingleElementRow) {
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    const float src = 3.5f;
+    float sm = -1.0f, lsm = -1.0f;
+    t->softmax_rows(&src, &sm, 0, 1, 1);
+    t->log_softmax_rows(&src, &lsm, 0, 1, 1);
+    EXPECT_FLOAT_EQ(sm, 1.0f);
+    EXPECT_FLOAT_EQ(lsm, 0.0f);
+  }
+}
+
+TEST(KernelSemantics, SoftmaxRowRangeIsPartitionInvariant) {
+  // Same row-partition argument as matmul: splitting [r0, r1) must be
+  // bitwise-invisible within a target (this is what makes the parallel
+  // softmax path bitwise equal to serial).
+  const std::size_t m = 11, n = 19;
+  const auto src = random_vec(m * n, 977);
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<float> whole(m * n), split(m * n);
+    t->softmax_rows(src.data(), whole.data(), 0, m, n);
+    t->softmax_rows(src.data(), split.data(), 0, 4, n);
+    t->softmax_rows(src.data(), split.data(), 4, 9, n);
+    t->softmax_rows(src.data(), split.data(), 9, m, n);
+    expect_bitwise(split, whole, "softmax row split");
+  }
+}

@@ -1,28 +1,33 @@
-// Tests for the fused transpose-free matmul variants and the tiled serial
+// Tests for the fused transpose-free matmul variants and the dispatch-table
 // kernels behind the whole matmul family.
 //
 // The contracts under test are *bitwise*, not approximate:
-//  * matmul_nt(a, b) == matmul(a, transpose2d(b)) exactly — the fused kernel
-//    accumulates each output element over k in the same order with the same
-//    skip-if-zero rule, so no float may differ.
+//  * matmul_nt(a, b) == matmul(a, transpose2d(b)) exactly — whichever
+//    dispatch target is active, both sides accumulate each output element
+//    over k in the same order with the same (fused or unfused) per-step
+//    rounding, so no float may differ.
 //  * matmul_tn(a, b) == matmul(transpose2d(a), b) exactly, same reasoning.
-//  * The tiled serial matmul equals a naive untiled i/k/j reference loop
+//  * The scalar dispatch target equals a naive untiled i/k/j reference loop
 //    exactly — tiling only reorders *which outputs* are produced when, never
-//    the per-element accumulation order.
-//  * The parallel row-partitioned path equals the serial path exactly (the
-//    PR 1 guarantee, extended to the new variants).
+//    the per-element accumulation order. (The SIMD targets may use FMA, so
+//    this identity is pinned to the scalar table; cross-target equivalence
+//    at 1e-5 lives in kernels_dispatch_test.cpp.)
+//  * The parallel row-partitioned path equals the serial path exactly within
+//    the active target (the PR 1 guarantee, extended to the new variants).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstddef>
 #include <tuple>
 
+#include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/parallel.hpp"
 #include "reffil/tensor/tensor.hpp"
 #include "reffil/util/rng.hpp"
 
 namespace T = reffil::tensor;
+namespace kern = reffil::tensor::kern;
 
 namespace {
 
@@ -39,15 +44,16 @@ void expect_bitwise_equal(const T::Tensor& a, const T::Tensor& b) {
 }
 
 /// Naive untiled reference: out[i,j] = sum_k a[i,k]*b[k,j], k in increasing
-/// order, accumulating into the output element, skipping a[i,k] == 0 (the
-/// skip rule the production kernels inherited from the original serial loop).
+/// order, accumulating into the output element. Every product participates —
+/// the historical skip-if-zero shortcut was removed from the production
+/// kernels because it masked NaN/Inf operands (0 * NaN must be NaN); on
+/// finite inputs the results are unchanged either way.
 T::Tensor naive_matmul(const T::Tensor& a, const T::Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   T::Tensor out({m, n});
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t kk = 0; kk < k; ++kk) {
       const float aik = a.at(i * k + kk);
-      if (aik == 0.0f) continue;
       for (std::size_t j = 0; j < n; ++j) {
         out.at(i * n + j) += aik * b.at(kk * n + j);
       }
@@ -84,16 +90,19 @@ TEST_P(FusedMatmulShapes, TnMatchesTransposeCompositionBitwise) {
   expect_bitwise_equal(T::matmul_tn(a, b), T::matmul(T::transpose2d(a), b));
 }
 
-TEST_P(FusedMatmulShapes, TiledSerialMatmulMatchesNaiveBitwise) {
+TEST_P(FusedMatmulShapes, TiledScalarTargetMatchesNaiveBitwise) {
   const auto [m, k, n] = GetParam();
   reffil::util::Rng rng(m * 4001 + k * 41 + n);
   auto a = T::randn({m, k}, rng);
   const auto b = T::randn({k, n}, rng);
-  // Plant exact zeros so the skip-if-zero rule is exercised, not just cheap.
+  // Plant exact zeros: their products must still participate (as exact ±0
+  // adds) without perturbing any result.
   for (std::size_t i = 0; i < a.numel(); i += 3) a.at(i) = 0.0f;
-  ParallelGuard guard;
-  T::parallel::set_enabled(false);
-  expect_bitwise_equal(T::matmul(a, b), naive_matmul(a, b));
+  const kern::Kernels* scalar = kern::by_name("scalar");
+  ASSERT_NE(scalar, nullptr);
+  T::Tensor out({m, n});
+  scalar->matmul_rows_nn(a.begin(), b.begin(), out.begin(), 0, m, k, n);
+  expect_bitwise_equal(out, naive_matmul(a, b));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -32,6 +32,7 @@
 
 #include "reffil/data/spec.hpp"
 #include "reffil/harness/experiment.hpp"
+#include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/util/obs.hpp"
 #include "reffil/util/prof.hpp"
 
@@ -73,10 +74,11 @@ std::uint64_t total_participants(const fed::RunResult& result) {
 }
 
 void print_json(const fed::RunResult& result) {
-  std::printf("{\"method\":\"%s\",\"dataset\":\"%s\",\"avg\":%.4f,"
-              "\"last\":%.4f,\"tasks\":[",
+  std::printf("{\"method\":\"%s\",\"dataset\":\"%s\",\"isa\":\"%s\","
+              "\"avg\":%.4f,\"last\":%.4f,\"tasks\":[",
               result.method_name.c_str(), result.dataset_name.c_str(),
-              result.average_accuracy(), result.last_accuracy());
+              tensor::kern::active_name(), result.average_accuracy(),
+              result.last_accuracy());
   for (std::size_t t = 0; t < result.tasks.size(); ++t) {
     const auto& task = result.tasks[t];
     std::printf("%s{\"domain\":\"%s\",\"cumulative\":%.4f,\"per_domain\":[",
@@ -286,10 +288,10 @@ int main(int argc, char** argv) {
   if (json) {
     print_json(result);
   } else {
-    std::printf("%s on %s (seed %llu, %s order, scale %s)\n",
+    std::printf("%s on %s (seed %llu, %s order, scale %s, isa %s)\n",
                 result.method_name.c_str(), result.dataset_name.c_str(),
                 static_cast<unsigned long long>(seed), order.c_str(),
-                scale.c_str());
+                scale.c_str(), tensor::kern::active_name());
     for (const auto& task : result.tasks) {
       std::printf("  after %-14s cumulative %5.1f%%\n", task.domain_name.c_str(),
                   task.cumulative_accuracy);
