@@ -8,8 +8,11 @@
 #include "reffil/core/cdap.hpp"
 #include "reffil/core/finch.hpp"
 #include "reffil/data/generator.hpp"
+#include "reffil/fed/compress.hpp"
 #include "reffil/fed/fedavg.hpp"
 #include "reffil/metrics/tsne.hpp"
+#include "reffil/tensor/kernels_dispatch.hpp"
+#include "reffil/tensor/quant.hpp"
 #include "reffil/nn/backbone.hpp"
 #include "reffil/nn/optimizer.hpp"
 #include "reffil/tensor/ops.hpp"
@@ -259,6 +262,102 @@ static void BM_ModelSerializeRoundTrip(benchmark::State& state) {
   }();
 }
 BENCHMARK(BM_ModelSerializeRoundTrip);
+
+// Same round trip with the writer pre-sized via serialized_size(): the
+// broadcast/update hot paths reserve exactly once instead of growing the
+// byte vector geometrically (BENCH_micro.json notes track the delta).
+static void BM_ModelSerializePresized(benchmark::State& state) {
+  Rng rng(9);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  for (auto _ : state) {
+    // Identical to BM_ModelSerializeRoundTrip except for the reserve, so
+    // the pair isolates the cost of geometric ByteWriter growth.
+    const auto snapshot = net.snapshot();
+    reffil::util::ByteWriter writer;
+    writer.reserve(reffil::fed::serialized_size(snapshot));
+    reffil::fed::serialize_state(snapshot, writer);
+    reffil::util::ByteReader reader(writer.bytes());
+    benchmark::DoNotOptimize(reffil::fed::deserialize_state(reader));
+  }
+}
+BENCHMARK(BM_ModelSerializePresized);
+
+// Q8 codec kernels (quant.hpp) through the dispatch table — the per-value
+// costs behind the compressed wire format's encode/decode/fold paths.
+static void BM_Q8Encode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::int8_t> q(n);
+  std::vector<float> scales(reffil::tensor::quant::q8_num_blocks(n));
+  const auto& kern = reffil::tensor::kern::active();
+  for (auto _ : state) {
+    kern.q8_encode(x.data(), q.data(), scales.data(), n);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_Q8Encode)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Q8Decode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  std::vector<float> x(n), out(n);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::int8_t> q(n);
+  std::vector<float> scales(reffil::tensor::quant::q8_num_blocks(n));
+  const auto& kern = reffil::tensor::kern::active();
+  kern.q8_encode(x.data(), q.data(), scales.data(), n);
+  for (auto _ : state) {
+    kern.q8_decode(q.data(), scales.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_Q8Decode)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// The dequant-free FedAvg fold: weight * scale * int8 streamed straight into
+// the f32 accumulator, compared against decode-then-axpy by the notes.
+static void BM_Q8Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<float> x(n), y(n, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::int8_t> q(n);
+  std::vector<float> scales(reffil::tensor::quant::q8_num_blocks(n));
+  const auto& kern = reffil::tensor::kern::active();
+  kern.q8_encode(x.data(), q.data(), scales.data(), n);
+  for (auto _ : state) {
+    kern.q8_axpy(y.data(), 0.25f, q.data(), scales.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_Q8Axpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// Full compressed-frame cost for one model: dense q8 state encode + decode.
+static void BM_CompressedStateRoundTrip(benchmark::State& state) {
+  Rng rng(14);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  const auto snapshot = net.snapshot();
+  for (auto _ : state) {
+    reffil::util::ByteWriter writer;
+    writer.reserve(
+        reffil::fed::encoded_state_size(snapshot, reffil::fed::Codec::kQ8));
+    reffil::fed::encode_state(snapshot, reffil::fed::Codec::kQ8, writer);
+    reffil::util::ByteReader reader(writer.bytes());
+    benchmark::DoNotOptimize(reffil::fed::deserialize_state_any(reader));
+  }
+  state.counters["bytes"] = static_cast<double>(
+      reffil::fed::encoded_state_size(snapshot, reffil::fed::Codec::kQ8));
+}
+BENCHMARK(BM_CompressedStateRoundTrip);
 
 static void BM_SyntheticSampleGeneration(benchmark::State& state) {
   const auto spec = reffil::data::digits_five_spec();

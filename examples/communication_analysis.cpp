@@ -3,11 +3,14 @@
 // The transport meters every serialized broadcast and upload, so a user can
 // compare the traffic cost of each method — notably what RefFiL's prompt
 // sharing adds on top of plain FedAvg (spoiler: prompts are d-dimensional
-// vectors, a rounding error next to the model itself).
+// vectors, a rounding error next to the model itself). The second half
+// sweeps the wire-compression levels (fed/compress.hpp) on one method and
+// prints the accuracy-vs-bytes frontier.
 #include <cstdio>
 
 #include "reffil/data/spec.hpp"
 #include "reffil/harness/experiment.hpp"
+#include "reffil/harness/tables.hpp"
 
 int main() {
   using namespace reffil;
@@ -34,7 +37,23 @@ int main() {
   }
   std::printf("\n(Finetune traffic is the FedAvg floor: %.1f KiB. Methods "
               "shipping teachers or Fisher matrices pay multiples of it; "
-              "RefFiL's prompt groups add only a few KiB.)\n",
+              "RefFiL's prompt groups add only a few KiB.)\n\n",
               finetune_total);
+
+  // Accuracy-vs-bytes frontier: the same Finetune cell at each compression
+  // level. Each level is its own cache key (CompressionConfig::tag()), so
+  // repeated invocations render the table straight from cached cells.
+  const char* levels[] = {"none", "f16", "q8", "q8,topk=0.1"};
+  std::vector<harness::CellResult> cells;
+  for (const char* level : levels) {
+    harness::ExperimentConfig level_config = config;
+    level_config.compress = fed::CompressionConfig::parse(level);
+    cells.push_back(harness::run_cell(spec, "orig",
+                                      harness::MethodKind::kFinetune,
+                                      level_config));
+  }
+  harness::print_compression_frontier(
+      spec, harness::method_display_name(harness::MethodKind::kFinetune),
+      cells);
   return 0;
 }

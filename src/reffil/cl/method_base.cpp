@@ -75,9 +75,64 @@ void MethodBase::on_task_start(std::size_t task) { current_task_ = task; }
 
 std::vector<std::uint8_t> MethodBase::make_broadcast() {
   util::ByteWriter writer;
-  fed::serialize_state(global_state_, writer);
+  if (compress_.enabled()) {
+    writer.reserve(fed::encoded_state_size(global_state_, compress_.codec));
+    // Keep the DECODED broadcast: it is the base every client's delta is
+    // relative to, so aggregation must apply the averaged delta to exactly
+    // this state, not to the pre-quantization global_state_.
+    broadcast_reference_ =
+        fed::encode_state(global_state_, compress_.codec, writer);
+  } else {
+    writer.reserve(fed::serialized_size(global_state_));
+    fed::serialize_state(global_state_, writer);
+  }
   write_broadcast_extras(writer);
   return writer.take();
+}
+
+void MethodBase::configure_compression(const fed::CompressionConfig& config) {
+  std::lock_guard<std::mutex> lock(residual_mutex_);
+  compress_ = config;
+  if (!config.enabled()) {
+    // Residuals only mean anything relative to a compressed stream:
+    // switching to `none` mid-experiment drains them so the very next round
+    // is bitwise-identical to a never-compressed run.
+    residuals_.clear();
+    broadcast_reference_.clear();
+  }
+}
+
+std::size_t MethodBase::residual_count() const {
+  std::lock_guard<std::mutex> lock(residual_mutex_);
+  return residuals_.size();
+}
+
+void MethodBase::fold_residual(std::size_t client_id, fed::ModelState& delta) {
+  std::lock_guard<std::mutex> lock(residual_mutex_);
+  const auto it = residuals_.find(client_id);
+  if (it == residuals_.end()) return;
+  bool compatible = it->second.size() == delta.size();
+  for (std::size_t t = 0; compatible && t < delta.size(); ++t) {
+    compatible = it->second[t].shape() == delta[t].shape();
+  }
+  if (compatible) {
+    for (std::size_t t = 0; t < delta.size(); ++t) {
+      T::add_inplace(delta[t], it->second[t]);
+    }
+  }
+  // Spent either way — a structure change makes the old residual
+  // meaningless, so it is dropped rather than corrupting the delta.
+  residuals_.erase(it);
+}
+
+void MethodBase::store_residual(std::size_t client_id,
+                                fed::ModelState residual) {
+  std::lock_guard<std::mutex> lock(residual_mutex_);
+  if (residuals_.size() >= kMaxResiduals &&
+      residuals_.find(client_id) == residuals_.end()) {
+    residuals_.erase(residuals_.begin());
+  }
+  residuals_[client_id] = std::move(residual);
 }
 
 void MethodBase::read_broadcast_extras(util::ByteReader& reader, std::size_t) {
@@ -116,7 +171,8 @@ fed::ClientUpdate MethodBase::train_client(
   Replica& rep = replica(job.worker_slot);
 
   util::ByteReader reader(broadcast);
-  rep.load(fed::deserialize_state(reader));
+  const fed::ModelState global = fed::deserialize_state_any(reader);
+  rep.load(global);
   read_broadcast_extras(reader, job.worker_slot);
 
   std::vector<TaggedSample> view = local_view(job);
@@ -155,7 +211,25 @@ fed::ClientUpdate MethodBase::train_client(
   update.client_id = job.client_id;
   update.num_samples = view.size();
   util::ByteWriter writer;
-  fed::serialize_state(rep.snapshot(), writer);
+  if (compress_.enabled()) {
+    // Upload delta = (trained - received) + carried residual, top-k
+    // sparsified and quantized; encode_delta leaves the untransmitted
+    // energy in `delta`, which becomes this client's next residual.
+    fed::ModelState delta = rep.snapshot();
+    REFFIL_CHECK_MSG(delta.size() == global.size(),
+                     "train_client: snapshot/broadcast structure mismatch");
+    for (std::size_t t = 0; t < delta.size(); ++t) {
+      T::axpy_inplace(delta[t], -1.0f, global[t]);
+    }
+    fold_residual(job.client_id, delta);
+    writer.reserve(fed::encoded_delta_size(delta, compress_));
+    fed::encode_delta(delta, compress_, writer);
+    store_residual(job.client_id, std::move(delta));
+  } else {
+    const fed::ModelState snapshot = rep.snapshot();
+    writer.reserve(fed::serialized_size(snapshot));
+    fed::serialize_state(snapshot, writer);
+  }
   write_update_extras(writer, rep, job);
   update.payload = writer.take();
   return update;
@@ -174,6 +248,22 @@ bool MethodBase::validate_update_extras(util::ByteReader& reader,
 }
 
 fed::UpdateValidator MethodBase::update_validator() const {
+  if (compress_.enabled()) {
+    // Compressed rounds carry delta frames: the allocation-free structural
+    // walk replaces the full f32 decode, then the extras checks run the
+    // same as always (exact consumption included).
+    return [this](const std::vector<std::uint8_t>& payload,
+                  std::string* reason) {
+      util::ByteReader reader(payload);
+      if (!fed::validate_delta_frame(reader, reason)) return false;
+      try {
+        return validate_update_extras(reader, reason);
+      } catch (const Error& e) {
+        if (reason) *reason = e.what();
+        return false;
+      }
+    };
+  }
   return [this](const std::vector<std::uint8_t>& payload, std::string* reason) {
     try {
       util::ByteReader reader(payload);
@@ -198,27 +288,67 @@ fed::UpdateValidator MethodBase::update_validator() const {
 class MethodBase::StreamingSink : public fed::AggregationSink {
  public:
   StreamingSink(MethodBase& method, std::size_t num_shards)
-      : method_(method), acc_(num_shards) {}
+      : method_(method),
+        acc_(num_shards),
+        compressed_(method.compress_.enabled()) {
+    if (compressed_) {
+      REFFIL_CHECK_MSG(!method.broadcast_reference_.empty(),
+                       "streaming aggregate: no broadcast reference");
+      delta_sum_.reserve(method.broadcast_reference_.size());
+      for (const auto& t : method.broadcast_reference_) {
+        delta_sum_.emplace_back(t.shape());
+      }
+    }
+  }
 
   void add(const fed::ClientUpdate& update) override {
     util::ByteReader reader(update.payload);
+    if (compressed_) {
+      // Dequant-free: the frame folds straight into the f32 delta sum; a
+      // malformed frame throws BEFORE touching it, so the caller's
+      // quarantine drops only this update.
+      fed::accumulate_delta(reader, static_cast<float>(update.num_samples),
+                            delta_sum_);
+      method_.read_update_extras(reader, update);
+      total_weight_ += static_cast<double>(update.num_samples);
+      ++count_;
+      return;
+    }
     const fed::ModelState state = fed::deserialize_state(reader);
     method_.read_update_extras(reader, update);
     acc_.add(state, static_cast<double>(update.num_samples));
   }
 
-  std::size_t count() const override { return acc_.count(); }
+  std::size_t count() const override {
+    return compressed_ ? count_ : acc_.count();
+  }
 
   void finish() override {
     obs::count("cl.aggregations");
-    obs::count("cl.updates_aggregated", acc_.count());
-    method_.global_state_ = acc_.finish();
+    obs::count("cl.updates_aggregated", count());
+    if (compressed_) {
+      REFFIL_CHECK_MSG(count_ > 0, "streaming aggregate: no updates");
+      REFFIL_CHECK_MSG(total_weight_ > 0.0,
+                       "streaming aggregate: all-zero weights");
+      const float inv = static_cast<float>(1.0 / total_weight_);
+      fed::ModelState next = method_.broadcast_reference_;
+      for (std::size_t t = 0; t < next.size(); ++t) {
+        T::axpy_inplace(next[t], inv, delta_sum_[t]);
+      }
+      method_.global_state_ = std::move(next);
+    } else {
+      method_.global_state_ = acc_.finish();
+    }
     method_.after_aggregate();
   }
 
  private:
   MethodBase& method_;
   fed::ShardedFedAvg acc_;
+  bool compressed_ = false;
+  fed::ModelState delta_sum_;   ///< sum of weight-scaled decoded deltas
+  double total_weight_ = 0.0;
+  std::size_t count_ = 0;
 };
 
 std::unique_ptr<fed::AggregationSink> MethodBase::begin_streaming_aggregate(
@@ -230,6 +360,33 @@ void MethodBase::aggregate(const std::vector<fed::ClientUpdate>& updates) {
   REFFIL_CHECK_MSG(!updates.empty(), "aggregate: no updates");
   obs::count("cl.aggregations");
   obs::count("cl.updates_aggregated", updates.size());
+  if (compress_.enabled()) {
+    REFFIL_CHECK_MSG(!broadcast_reference_.empty(),
+                     "aggregate: no broadcast reference for compressed round");
+    fed::ModelState delta_sum;
+    delta_sum.reserve(broadcast_reference_.size());
+    for (const auto& t : broadcast_reference_) delta_sum.emplace_back(t.shape());
+    double total_weight = 0.0;
+    for (const auto& update : updates) {
+      util::ByteReader reader(update.payload);
+      fed::accumulate_delta(reader, static_cast<float>(update.num_samples),
+                            delta_sum);
+      read_update_extras(reader, update);
+      total_weight += static_cast<double>(update.num_samples);
+    }
+    REFFIL_CHECK_MSG(total_weight > 0.0, "aggregate: all-zero weights");
+    // theta^{r+1} = Q(theta^r) + sum_m w_m delta_m / sum_m w_m: the decoded
+    // broadcast is the base every delta was computed against, so it — not
+    // the pre-quantization global state — anchors the new round.
+    const float inv = static_cast<float>(1.0 / total_weight);
+    fed::ModelState next = broadcast_reference_;
+    for (std::size_t t = 0; t < next.size(); ++t) {
+      T::axpy_inplace(next[t], inv, delta_sum[t]);
+    }
+    global_state_ = std::move(next);
+    after_aggregate();
+    return;
+  }
   std::vector<fed::ModelState> states;
   std::vector<double> weights;
   states.reserve(updates.size());

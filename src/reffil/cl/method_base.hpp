@@ -8,10 +8,13 @@
 // evaluation forward pass.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "reffil/fed/compress.hpp"
 #include "reffil/fed/fedavg.hpp"
 #include "reffil/fed/method.hpp"
 #include "reffil/nn/backbone.hpp"
@@ -61,6 +64,7 @@ class MethodBase : public fed::Method {
   fed::UpdateValidator update_validator() const override;
   std::unique_ptr<fed::AggregationSink> begin_streaming_aggregate(
       std::size_t num_shards) override;
+  void configure_compression(const fed::CompressionConfig& config) override;
   void prepare_eval() override;
   std::size_t predict(std::size_t worker_slot,
                       const tensor::Tensor& image) override;
@@ -69,6 +73,10 @@ class MethodBase : public fed::Method {
 
   const fed::ModelState& global_state() const { return global_state_; }
   const MethodConfig& config() const { return config_; }
+
+  /// Number of clients currently holding a non-discarded error-feedback
+  /// residual (tests assert these drain to zero when compression turns off).
+  std::size_t residual_count() const;
 
  protected:
   /// Subclasses with extended replicas override this factory. Called from
@@ -140,7 +148,27 @@ class MethodBase : public fed::Method {
   std::vector<std::unique_ptr<Replica>> workers_;
   std::size_t current_task_ = 0;
 
+  /// Wire compression installed by the runner (none by default). When
+  /// enabled, make_broadcast() emits a quantized state frame and keeps the
+  /// DECODED state here — the base every client computes its delta against,
+  /// and the base aggregation applies the averaged delta to. Set before the
+  /// first round and read-only afterwards.
+  fed::CompressionConfig compress_;
+  fed::ModelState broadcast_reference_;
+
  private:
+  /// Fold the stored residual for `client_id` into `delta` (and spend it);
+  /// a residual whose structure no longer matches is dropped instead.
+  void fold_residual(std::size_t client_id, fed::ModelState& delta);
+  /// Store `residual` as the client's carry into its next participating
+  /// round. Bounded at kMaxResiduals clients (oldest id evicted) so a
+  /// million-client federation cannot hold a model copy per client.
+  void store_residual(std::size_t client_id, fed::ModelState residual);
+
+  mutable std::mutex residual_mutex_;
+  std::map<std::size_t, fed::ModelState> residuals_;
+  static constexpr std::size_t kMaxResiduals = 65536;
+
   // Streaming ShardedFedAvg adapter (defined in the .cpp); a nested class so
   // it can drive read_update_extras / after_aggregate and commit the global
   // state without widening the protected surface.

@@ -1,0 +1,591 @@
+#include "reffil/fed/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "reffil/tensor/kernels_dispatch.hpp"
+#include "reffil/tensor/quant.hpp"
+#include "reffil/util/error.hpp"
+
+namespace reffil::fed {
+
+namespace quant = reffil::tensor::quant;
+namespace kern = reffil::tensor::kern;
+
+namespace {
+
+constexpr std::uint8_t kKindState = 0;
+constexpr std::uint8_t kKindDelta = 1;
+constexpr std::uint8_t kModeDense = 0;
+constexpr std::uint8_t kModeTopk = 1;
+
+/// Shortest %g rendering (same canonicalization as FaultProfile/DesConfig
+/// tags, so equal configs always produce equal cache keys).
+std::string format_knob(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// A usable quantization scale: finite, non-negative, and small enough that
+/// scale * 127 (the largest decodable magnitude) stays finite — so every
+/// decoded value upholds the Tensor finiteness invariant.
+bool scale_ok(float s) {
+  return std::isfinite(s) && s >= 0.0f && std::isfinite(s * 127.0f);
+}
+
+/// |x[i]| as ordered sign-stripped bits: unsigned comparison ranks
+/// magnitudes like float comparison would, but stays a strict total order
+/// even on NaN (which sorts above Inf) — nth_element must never see an
+/// inconsistent comparator.
+std::uint32_t magnitude_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits & 0x7FFFFFFFu;
+}
+
+/// Deterministic top-k by magnitude: k largest |x[i]|, magnitude ties
+/// broken by the lower index, result sorted ascending by index.
+std::vector<std::uint32_t> topk_indices(const float* x, std::size_t n,
+                                        std::size_t k) {
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(),
+                   idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                   [x](std::uint32_t a, std::uint32_t b) {
+                     const std::uint32_t ma = magnitude_bits(x[a]);
+                     const std::uint32_t mb = magnitude_bits(x[b]);
+                     return ma != mb ? ma > mb : a < b;
+                   });
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+/// Read and bound one tensor header (rank + dims). Mirrors the
+/// deserialize_state hardening: everything is checked before any caller
+/// allocates proportional to it.
+tensor::Shape read_frame_shape(util::ByteReader& reader,
+                               std::size_t* numel_out) {
+  constexpr std::size_t kMaxNumel = std::size_t{1} << 40;
+  const auto rank = reader.read_u64();
+  if (rank > 8) {
+    throw SerializationError("implausible tensor rank in compressed frame");
+  }
+  tensor::Shape shape;
+  shape.reserve(rank);
+  std::size_t numel = 1;
+  for (std::uint64_t r = 0; r < rank; ++r) {
+    const auto dim = reader.read_u64();
+    if (dim == 0 || dim > kMaxNumel || numel > kMaxNumel / dim) {
+      throw SerializationError("implausible tensor dims in compressed frame");
+    }
+    numel *= dim;
+    shape.push_back(dim);
+  }
+  *numel_out = numel;
+  return shape;
+}
+
+/// Encode `n` values from `x` into the writer under `codec`, and (when
+/// `decoded` is non-null) also produce what a decoder will reconstruct —
+/// computed from the same encoded bytes, so the client-side residual and
+/// the broadcast reference are exact by construction.
+void encode_values(const float* x, std::size_t n, Codec codec,
+                   util::ByteWriter& writer, float* decoded) {
+  const kern::Kernels& k = kern::active();
+  if (codec == Codec::kQ8) {
+    std::vector<float> scales(quant::q8_num_blocks(n));
+    std::vector<std::int8_t> q(n);
+    k.q8_encode(x, q.data(), scales.data(), n);
+    writer.write_pod_vector(scales);
+    writer.write_pod_vector(q);
+    if (decoded != nullptr) k.q8_decode(q.data(), scales.data(), decoded, n);
+  } else {
+    std::vector<std::uint16_t> h(n);
+    quant::f16_encode_span(x, h.data(), n);
+    writer.write_pod_vector(h);
+    if (decoded != nullptr) quant::f16_decode_span(h.data(), decoded, n);
+  }
+}
+
+/// Decode `n` codec-packed values into `out`, enforcing the length-field
+/// consistency and finiteness requirements. Throws SerializationError.
+void decode_values(util::ByteReader& reader, Codec codec, std::size_t n,
+                   float* out) {
+  if (codec == Codec::kQ8) {
+    const std::vector<float> scales = reader.read_pod_vector<float>();
+    if (scales.size() != quant::q8_num_blocks(n)) {
+      throw SerializationError("scale count disagrees with tensor size");
+    }
+    for (float s : scales) {
+      if (!scale_ok(s)) {
+        throw SerializationError("unusable quantization scale");
+      }
+    }
+    if (reader.read_u64() != n) {
+      throw SerializationError("quantized byte count disagrees with tensor size");
+    }
+    const std::uint8_t* q = reader.view(n);
+    kern::active().q8_decode(reinterpret_cast<const std::int8_t*>(q),
+                             scales.data(), out, n);
+  } else {
+    if (reader.read_u64() != n) {
+      throw SerializationError("half count disagrees with tensor size");
+    }
+    const std::uint8_t* hp = reader.view(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint16_t h;
+      std::memcpy(&h, hp + 2 * i, sizeof(h));
+      if (!quant::f16_is_finite(h)) {
+        throw SerializationError("non-finite f16 value in compressed frame");
+      }
+      out[i] = quant::f16_to_f32(h);
+    }
+  }
+}
+
+/// The allocation-free structural walk shared by the transport validator and
+/// the pre-accumulation probe. With `expect` non-null the tensor count and
+/// every shape must also match the expected model structure. On success the
+/// reader stands after the frame; never throws.
+bool walk_delta_frame(util::ByteReader& reader, const ModelState* expect,
+                      std::string* reason) {
+  const auto fail = [reason](const char* what) {
+    if (reason) *reason = what;
+    return false;
+  };
+  try {
+    if (reader.remaining() < sizeof(std::uint64_t) ||
+        reader.read_u64() != kQuantMagic) {
+      return fail("payload is not a compressed delta frame");
+    }
+    const auto codec_id = reader.read_pod<std::uint8_t>();
+    if (codec_id != static_cast<std::uint8_t>(Codec::kF16) &&
+        codec_id != static_cast<std::uint8_t>(Codec::kQ8)) {
+      return fail("unknown compression codec id");
+    }
+    const Codec codec = static_cast<Codec>(codec_id);
+    if (reader.read_pod<std::uint8_t>() != kKindDelta) {
+      return fail("client update must be a delta frame");
+    }
+    const auto n = reader.read_u64();
+    if (n == 0) return fail("empty delta frame");
+    if (n > 1'000'000) return fail("implausible delta tensor count");
+    // rank u64 + mode u8 + the value length fields is the least a tensor
+    // can occupy; checking before the loop caps the walk itself.
+    if (n > reader.remaining() / 10) {
+      return fail("delta tensor count exceeds what the remaining bytes could encode");
+    }
+    if (expect != nullptr && n != expect->size()) {
+      return fail("delta tensor count disagrees with the global model");
+    }
+    constexpr std::size_t kMaxNumel = std::size_t{1} << 40;
+    for (std::uint64_t t = 0; t < n; ++t) {
+      const auto rank = reader.read_u64();
+      if (rank > 8) return fail("implausible tensor rank in delta frame");
+      std::size_t numel = 1;
+      std::size_t dims[8];
+      for (std::uint64_t r = 0; r < rank; ++r) {
+        const auto dim = reader.read_u64();
+        if (dim == 0 || dim > kMaxNumel || numel > kMaxNumel / dim) {
+          return fail("implausible tensor dims in delta frame");
+        }
+        dims[r] = dim;
+        numel *= dim;
+      }
+      if (expect != nullptr) {
+        const tensor::Shape& want = (*expect)[t].shape();
+        if (want.size() != rank ||
+            !std::equal(want.begin(), want.end(), dims)) {
+          return fail("delta tensor shape disagrees with the global model");
+        }
+      }
+      const auto mode = reader.read_pod<std::uint8_t>();
+      std::size_t value_count = numel;
+      if (mode == kModeTopk) {
+        const auto k = reader.read_u64();
+        if (k == 0 || k >= numel) return fail("top-k count out of range");
+        const auto index_count = reader.read_u64();
+        if (index_count != k) {
+          return fail("top-k index count disagrees with the claimed k");
+        }
+        const std::uint8_t* ip = reader.view(k * sizeof(std::uint32_t));
+        std::uint32_t prev = 0;
+        for (std::uint64_t j = 0; j < k; ++j) {
+          std::uint32_t v;
+          std::memcpy(&v, ip + j * sizeof(v), sizeof(v));
+          if (v >= numel) return fail("top-k index out of range");
+          if (j != 0 && v <= prev) {
+            return fail("top-k indices not strictly increasing");
+          }
+          prev = v;
+        }
+        value_count = k;
+      } else if (mode != kModeDense) {
+        return fail("unknown delta sparsity mode");
+      }
+      if (codec == Codec::kQ8) {
+        const auto scale_count = reader.read_u64();
+        if (scale_count != quant::q8_num_blocks(value_count)) {
+          return fail("scale count disagrees with value count");
+        }
+        const std::uint8_t* sp = reader.view(scale_count * sizeof(float));
+        for (std::uint64_t b = 0; b < scale_count; ++b) {
+          float s;
+          std::memcpy(&s, sp + b * sizeof(s), sizeof(s));
+          if (!scale_ok(s)) return fail("unusable quantization scale");
+        }
+        if (reader.read_u64() != value_count) {
+          return fail("quantized byte count disagrees with value count");
+        }
+        reader.skip(value_count);
+      } else {
+        if (reader.read_u64() != value_count) {
+          return fail("half count disagrees with value count");
+        }
+        const std::uint8_t* hp = reader.view(value_count * 2);
+        for (std::uint64_t j = 0; j < value_count; ++j) {
+          std::uint16_t h;
+          std::memcpy(&h, hp + 2 * j, sizeof(h));
+          if (!quant::f16_is_finite(h)) {
+            return fail("non-finite f16 value in delta frame");
+          }
+        }
+      }
+    }
+    return true;
+  } catch (const Error& e) {
+    if (reason) *reason = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+CompressionConfig CompressionConfig::parse(const std::string& spec) {
+  CompressionConfig config;
+  if (spec.empty()) return config;
+  const std::size_t codec_end = spec.find(',');
+  const std::string codec_name =
+      spec.substr(0, codec_end == std::string::npos ? spec.size() : codec_end);
+  if (codec_name == "none") {
+    config.codec = Codec::kNone;
+  } else if (codec_name == "f16") {
+    config.codec = Codec::kF16;
+  } else if (codec_name == "q8") {
+    config.codec = Codec::kQ8;
+  } else {
+    throw ConfigError("unknown compression codec '" + codec_name +
+                      "' (known: none, f16, q8)");
+  }
+  std::size_t pos = codec_end == std::string::npos ? spec.size() : codec_end + 1;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("compression spec entry '" + entry +
+                        "' is not key=value");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double v = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || *parse_end != '\0' || !std::isfinite(v)) {
+      throw ConfigError("compression value '" + value + "' for '" + key +
+                        "' is not a finite number");
+    }
+    if (key == "topk") {
+      if (v <= 0.0 || v > 1.0) {
+        throw ConfigError("compression topk must be in (0, 1]");
+      }
+      config.topk = v;
+    } else {
+      throw ConfigError("unknown compression key '" + key + "' (known: topk)");
+    }
+  }
+  if (!config.enabled() && config.topk != 1.0) {
+    throw ConfigError("compression topk requires a codec (f16 or q8)");
+  }
+  return config;
+}
+
+std::string CompressionConfig::to_string() const {
+  if (!enabled()) return "none";
+  std::string s = codec == Codec::kF16 ? "f16" : "q8";
+  if (topk < 1.0) s += ",topk=" + format_knob(topk);
+  return s;
+}
+
+std::string CompressionConfig::tag() const {
+  return enabled() ? "compress:" + to_string() : std::string();
+}
+
+bool is_compressed(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < sizeof(std::uint64_t)) return false;
+  std::uint64_t magic;
+  std::memcpy(&magic, payload.data(), sizeof(magic));
+  return magic == kQuantMagic;
+}
+
+std::size_t encoded_state_size(const ModelState& state, Codec codec) {
+  // magic + codec + kind + tensor count.
+  std::size_t total = 8 + 1 + 1 + 8;
+  for (const auto& t : state) {
+    total += sizeof(std::uint64_t) * (1 + t.rank());
+    if (codec == Codec::kQ8) {
+      total += 16 + quant::q8_encoded_bytes(t.numel());
+    } else {
+      total += 8 + 2 * t.numel();
+    }
+  }
+  return total;
+}
+
+std::size_t encoded_delta_size(const ModelState& delta,
+                               const CompressionConfig& config) {
+  // Dense upper bound + the per-tensor mode byte; top-k tensors only shrink.
+  std::size_t total = encoded_state_size(delta, config.codec);
+  return total + delta.size();
+}
+
+ModelState encode_state(const ModelState& state, Codec codec,
+                        util::ByteWriter& writer) {
+  REFFIL_CHECK_MSG(codec != Codec::kNone, "encode_state: no codec");
+  writer.write_u64(kQuantMagic);
+  writer.write_pod(static_cast<std::uint8_t>(codec));
+  writer.write_pod(kKindState);
+  writer.write_u64(state.size());
+  ModelState reference;
+  reference.reserve(state.size());
+  for (const auto& t : state) {
+    writer.write_u64(t.rank());
+    for (std::size_t dim : t.shape()) writer.write_u64(dim);
+    tensor::Tensor decoded(t.shape());
+    encode_values(t.begin(), t.numel(), codec, writer, decoded.begin());
+    reference.push_back(std::move(decoded));
+  }
+  return reference;
+}
+
+ModelState deserialize_state_any(util::ByteReader& reader) {
+  const std::uint64_t first = reader.read_u64();
+  if (first != kQuantMagic) return deserialize_state_counted(reader, first);
+
+  const auto codec_id = reader.read_pod<std::uint8_t>();
+  if (codec_id != static_cast<std::uint8_t>(Codec::kF16) &&
+      codec_id != static_cast<std::uint8_t>(Codec::kQ8)) {
+    throw SerializationError("unknown compression codec id");
+  }
+  const Codec codec = static_cast<Codec>(codec_id);
+  if (reader.read_pod<std::uint8_t>() != kKindState) {
+    throw SerializationError("broadcast must be a dense state frame");
+  }
+  const auto n = reader.read_u64();
+  if (n > 1'000'000) {
+    throw SerializationError("implausible state tensor count");
+  }
+  if (n > reader.remaining() / 10) {
+    throw SerializationError(
+        "state tensor count exceeds what the remaining bytes could encode");
+  }
+  ModelState state;
+  state.reserve(n);
+  for (std::uint64_t t = 0; t < n; ++t) {
+    std::size_t numel = 0;
+    tensor::Shape shape = read_frame_shape(reader, &numel);
+    // The encoded payload is 1.125 (q8) / 2 (f16) bytes per value, so
+    // requiring it before constructing the tensor bounds the f32 allocation
+    // by a small multiple of the bytes actually present.
+    const std::size_t encoded =
+        codec == Codec::kQ8 ? quant::q8_encoded_bytes(numel) : 2 * numel;
+    if (encoded > reader.remaining()) {
+      throw SerializationError(
+          "compressed tensor payload exceeds the remaining bytes");
+    }
+    tensor::Tensor out(std::move(shape));
+    decode_values(reader, codec, numel, out.begin());
+    state.push_back(std::move(out));
+  }
+  return state;
+}
+
+void encode_delta(ModelState& delta, const CompressionConfig& config,
+                  util::ByteWriter& writer) {
+  REFFIL_CHECK_MSG(config.enabled(), "encode_delta: compression disabled");
+  writer.write_u64(kQuantMagic);
+  writer.write_pod(static_cast<std::uint8_t>(config.codec));
+  writer.write_pod(kKindDelta);
+  writer.write_u64(delta.size());
+  for (auto& t : delta) {
+    const std::size_t n = t.numel();
+    writer.write_u64(t.rank());
+    for (std::size_t dim : t.shape()) writer.write_u64(dim);
+    std::size_t k = n;
+    if (config.topk < 1.0) {
+      k = static_cast<std::size_t>(
+          std::ceil(config.topk * static_cast<double>(n)));
+      k = std::clamp<std::size_t>(k, 1, n);
+    }
+    float* x = t.begin();
+    if (k >= n) {
+      writer.write_pod(kModeDense);
+      std::vector<float> transmitted(n);
+      encode_values(x, n, config.codec, writer, transmitted.data());
+      // Error feedback: keep exactly what the frame does NOT deliver.
+      for (std::size_t i = 0; i < n; ++i) x[i] -= transmitted[i];
+    } else {
+      REFFIL_CHECK_MSG(n <= UINT32_MAX,
+                       "tensor too large for 32-bit top-k indices");
+      writer.write_pod(kModeTopk);
+      const std::vector<std::uint32_t> idx = topk_indices(x, n, k);
+      writer.write_u64(k);
+      writer.write_pod_vector(idx);
+      std::vector<float> gathered(k);
+      for (std::size_t j = 0; j < k; ++j) gathered[j] = x[idx[j]];
+      std::vector<float> transmitted(k);
+      encode_values(gathered.data(), k, config.codec, writer,
+                    transmitted.data());
+      // Untransmitted entries keep their full value in the residual.
+      for (std::size_t j = 0; j < k; ++j) x[idx[j]] -= transmitted[j];
+    }
+  }
+}
+
+void accumulate_delta(util::ByteReader& reader, float weight,
+                      ModelState& acc) {
+  // Probe-validate the whole frame (structure AND shapes) before touching
+  // `acc`: a throw below would leave a half-folded accumulator, and the
+  // streaming sink quarantines single updates by catching exactly that.
+  {
+    util::ByteReader probe = reader;
+    std::string reason;
+    if (!walk_delta_frame(probe, &acc, &reason)) {
+      throw SerializationError("compressed update rejected: " + reason);
+    }
+  }
+  reader.skip(sizeof(std::uint64_t));  // magic
+  const Codec codec = static_cast<Codec>(reader.read_pod<std::uint8_t>());
+  reader.skip(1);  // kind
+  const auto n = reader.read_u64();
+  for (std::uint64_t t = 0; t < n; ++t) {
+    std::size_t numel = 0;
+    (void)read_frame_shape(reader, &numel);
+    float* y = acc[t].begin();
+    const auto mode = reader.read_pod<std::uint8_t>();
+    if (mode == kModeDense) {
+      if (codec == Codec::kQ8) {
+        const std::vector<float> scales = reader.read_pod_vector<float>();
+        reader.skip(sizeof(std::uint64_t));  // validated length field
+        const std::uint8_t* q = reader.view(numel);
+        // Dequant-free: scale_block * int8 streams straight from the wire
+        // bytes into the f32 accumulator.
+        kern::active().q8_axpy(y, weight,
+                               reinterpret_cast<const std::int8_t*>(q),
+                               scales.data(), numel);
+      } else {
+        reader.skip(sizeof(std::uint64_t));
+        const std::uint8_t* hp = reader.view(numel * 2);
+        for (std::size_t i = 0; i < numel; ++i) {
+          std::uint16_t h;
+          std::memcpy(&h, hp + 2 * i, sizeof(h));
+          y[i] += weight * quant::f16_to_f32(h);
+        }
+      }
+    } else {
+      const auto k = reader.read_u64();
+      reader.skip(sizeof(std::uint64_t));  // index length field
+      const std::uint8_t* ip = reader.view(k * sizeof(std::uint32_t));
+      if (codec == Codec::kQ8) {
+        const std::vector<float> scales = reader.read_pod_vector<float>();
+        reader.skip(sizeof(std::uint64_t));
+        const std::uint8_t* q = reader.view(k);
+        float c = 0.0f;
+        for (std::uint64_t j = 0; j < k; ++j) {
+          if (j % quant::kQ8Block == 0) {
+            c = weight * scales[j / quant::kQ8Block];
+          }
+          std::uint32_t idx;
+          std::memcpy(&idx, ip + j * sizeof(idx), sizeof(idx));
+          y[idx] += c * static_cast<float>(static_cast<std::int8_t>(q[j]));
+        }
+      } else {
+        reader.skip(sizeof(std::uint64_t));
+        const std::uint8_t* hp = reader.view(k * 2);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          std::uint32_t idx;
+          std::memcpy(&idx, ip + j * sizeof(idx), sizeof(idx));
+          std::uint16_t h;
+          std::memcpy(&h, hp + 2 * j, sizeof(h));
+          y[idx] += weight * quant::f16_to_f32(h);
+        }
+      }
+    }
+  }
+}
+
+bool validate_delta_frame(util::ByteReader& reader, std::string* reason) {
+  return walk_delta_frame(reader, nullptr, reason);
+}
+
+std::uint64_t raw_equiv_bytes(const std::vector<std::uint8_t>& payload) {
+  if (!is_compressed(payload)) return payload.size();
+  try {
+    util::ByteReader reader(payload);
+    reader.skip(sizeof(std::uint64_t));  // magic
+    const Codec codec = static_cast<Codec>(reader.read_pod<std::uint8_t>());
+    if (codec != Codec::kF16 && codec != Codec::kQ8) return payload.size();
+    const auto kind = reader.read_pod<std::uint8_t>();
+    if (kind != kKindState && kind != kKindDelta) return payload.size();
+    const auto n = reader.read_u64();
+    if (n > 1'000'000 || n > reader.remaining() / 9) return payload.size();
+    // The uncompressed equivalent: u64 tensor count, then per tensor the
+    // f32 serialization (rank + dims + length-prefixed data).
+    std::uint64_t total = sizeof(std::uint64_t);
+    const auto skip_values = [&reader, codec](std::size_t count) {
+      if (codec == Codec::kQ8) {
+        const auto scale_count = reader.read_u64();
+        reader.skip(scale_count * sizeof(float));
+        const auto q_count = reader.read_u64();
+        reader.skip(q_count);
+      } else {
+        const auto half_count = reader.read_u64();
+        reader.skip(half_count * 2);
+      }
+      (void)count;
+    };
+    for (std::uint64_t t = 0; t < n; ++t) {
+      std::size_t numel = 0;
+      const tensor::Shape shape = read_frame_shape(reader, &numel);
+      total += sizeof(std::uint64_t) * (2 + shape.size()) +
+               sizeof(float) * numel;
+      std::size_t value_count = numel;
+      if (kind == kKindDelta) {
+        const auto mode = reader.read_pod<std::uint8_t>();
+        if (mode == kModeTopk) {
+          const auto k = reader.read_u64();
+          if (k > numel) return payload.size();
+          const auto index_count = reader.read_u64();
+          reader.skip(index_count * sizeof(std::uint32_t));
+          value_count = k;
+        } else if (mode != kModeDense) {
+          return payload.size();
+        }
+      }
+      skip_values(value_count);
+    }
+    // Whatever follows the frame (method extras) already travels
+    // uncompressed — raw-equivalent at face value.
+    return total + reader.remaining();
+  } catch (const Error&) {
+    return payload.size();
+  }
+}
+
+}  // namespace reffil::fed

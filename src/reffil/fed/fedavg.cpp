@@ -45,8 +45,22 @@ void serialize_state(const ModelState& state, util::ByteWriter& writer) {
   for (const auto& t : state) t.serialize(writer);
 }
 
+std::size_t serialized_size(const ModelState& state) {
+  // u64 tensor count, then per tensor: u64 rank + rank u64 dims + the
+  // pod_vector (u64 length + f32 data) — must mirror Tensor::serialize.
+  std::size_t total = sizeof(std::uint64_t);
+  for (const auto& t : state) {
+    total += sizeof(std::uint64_t) * (2 + t.rank()) + sizeof(float) * t.numel();
+  }
+  return total;
+}
+
 ModelState deserialize_state(util::ByteReader& reader) {
-  const auto n = reader.read_u64();
+  return deserialize_state_counted(reader, reader.read_u64());
+}
+
+ModelState deserialize_state_counted(util::ByteReader& reader,
+                                     std::uint64_t n) {
   if (n > 1'000'000) throw SerializationError("implausible state tensor count");
   // The smallest serialized tensor is rank u64 + data-length u64, so any
   // count a valid payload can carry is bounded by remaining/16. Checking

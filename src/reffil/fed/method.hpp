@@ -19,6 +19,8 @@
 
 namespace reffil::fed {
 
+struct CompressionConfig;
+
 /// One client's local-training assignment for a round.
 struct TrainJob {
   std::size_t worker_slot = 0;  ///< replica index, [0, parallelism)
@@ -93,6 +95,11 @@ class Method {
   /// sink replaces one aggregate() call.
   virtual std::unique_ptr<AggregationSink> begin_streaming_aggregate(
       std::size_t num_shards);
+
+  /// Install the runner's wire-compression config (fed/compress.hpp) before
+  /// the first round. The default ignores it — methods that do not opt in
+  /// keep speaking the uncompressed format on both directions.
+  virtual void configure_compression(const CompressionConfig&) {}
 
   /// Load the current global state into every worker replica for evaluation.
   virtual void prepare_eval() = 0;

@@ -75,6 +75,10 @@ RunResult FederatedRunner::run(Method& method) {
   RunResult result;
   result.method_name = method.name();
   result.dataset_name = spec.name;
+  // Arm wire compression before validators or broadcasts exist — the
+  // method's update_validator() branches on it at creation time.
+  method.configure_compression(config_.compress);
+  result.compression = config_.compress.to_string();
 
   ClientIncrementScheduler scheduler(
       {.initial_clients = spec.initial_clients,
@@ -140,6 +144,9 @@ RunResult FederatedRunner::run(Method& method) {
       const std::vector<std::uint8_t> broadcast = method.make_broadcast();
       bcast_span.set_value(broadcast.size());
       bcast_span.finish();
+      // What the same broadcast would have cost uncompressed (first attempts
+      // only) — equal to broadcast.size() when compression is off.
+      const std::uint64_t bcast_raw = raw_equiv_bytes(broadcast);
       // Participants whose broadcast delivery failed (armed transport only);
       // removed from the round after the downlink bytes are metered.
       std::vector<ClientAssignment> reachable;
@@ -183,6 +190,8 @@ RunResult FederatedRunner::run(Method& method) {
         down_span.set_value(round_stats.bytes_down);
       }
       result.network.bytes_down += round_stats.bytes_down;
+      result.network.bytes_down_raw_equiv +=
+          bcast_raw * plan.participants.size();
       result.network.messages += plan.participants.size();
       if (tracing) {
         obs::trace(obs::TraceEvent("broadcast")
@@ -306,6 +315,10 @@ RunResult FederatedRunner::run(Method& method) {
         }
         for (std::size_t i = 0; i < updates.size(); ++i) {
           std::uint64_t wire_bytes = updates[i].payload.size();
+          // Raw equivalent BEFORE the transport can damage/replace the
+          // payload — the logical content is what the client produced.
+          result.network.bytes_up_raw_equiv +=
+              raw_equiv_bytes(updates[i].payload);
           bool delivered = true;
           if (faults_armed) {
             Transport::Delivery d =
@@ -462,6 +475,11 @@ RunResult FederatedRunner::run(Method& method) {
                    .field("timed_out", result.network.timed_out)
                    .field("bytes_retransmitted",
                           result.network.bytes_retransmitted)
+                   .field("compression", result.compression)
+                   .field("bytes_down_raw_equiv",
+                          result.network.bytes_down_raw_equiv)
+                   .field("bytes_up_raw_equiv",
+                          result.network.bytes_up_raw_equiv)
                    .field("avg_accuracy", result.average_accuracy())
                    .field("last_accuracy", result.last_accuracy())
                    .field("wall_s", result.wall_seconds));
@@ -480,6 +498,8 @@ RunResult FederatedRunner::run_des(Method& method) {
   RunResult result;
   result.method_name = method.name();
   result.dataset_name = spec.name;
+  method.configure_compression(config_.compress);
+  result.compression = config_.compress.to_string();
 
   // Same dense growth schedule underneath (it defines the data shards and
   // group semantics); the DES layer adds the registered population and the
@@ -545,6 +565,7 @@ RunResult FederatedRunner::run_des(Method& method) {
       const std::vector<std::uint8_t> broadcast = method.make_broadcast();
       bcast_span.set_value(broadcast.size());
       bcast_span.finish();
+      const std::uint64_t bcast_raw = raw_equiv_bytes(broadcast);
       std::vector<ClientAssignment> reachable;
       if (!faults_armed) {
         round_stats.bytes_down = broadcast.size() * plan.participants.size();
@@ -583,6 +604,8 @@ RunResult FederatedRunner::run_des(Method& method) {
         down_span.set_value(round_stats.bytes_down);
       }
       result.network.bytes_down += round_stats.bytes_down;
+      result.network.bytes_down_raw_equiv +=
+          bcast_raw * plan.participants.size();
       result.network.messages += plan.participants.size();
       if (tracing) {
         obs::trace(obs::TraceEvent("broadcast")
@@ -744,6 +767,8 @@ RunResult FederatedRunner::run_des(Method& method) {
           const Event& event = events[begin + i];
           const ClientAssignment& assignment = plan.participants[event.idx];
           std::uint64_t wire_bytes = updates[i].payload.size();
+          result.network.bytes_up_raw_equiv +=
+              raw_equiv_bytes(updates[i].payload);
           bool delivered = true;
           if (faults_armed) {
             Transport::Delivery d = transport->send_update(
@@ -935,6 +960,11 @@ RunResult FederatedRunner::run_des(Method& method) {
                    .field("timed_out", result.network.timed_out)
                    .field("bytes_retransmitted",
                           result.network.bytes_retransmitted)
+                   .field("compression", result.compression)
+                   .field("bytes_down_raw_equiv",
+                          result.network.bytes_down_raw_equiv)
+                   .field("bytes_up_raw_equiv",
+                          result.network.bytes_up_raw_equiv)
                    .field("avg_accuracy", result.average_accuracy())
                    .field("last_accuracy", result.last_accuracy())
                    .field("wall_s", result.wall_seconds));

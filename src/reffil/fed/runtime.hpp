@@ -16,6 +16,7 @@
 
 #include "reffil/data/generator.hpp"
 #include "reffil/data/spec.hpp"
+#include "reffil/fed/compress.hpp"
 #include "reffil/fed/method.hpp"
 #include "reffil/fed/scheduler.hpp"
 #include "reffil/fed/transport.hpp"
@@ -56,6 +57,11 @@ struct RunConfig {
   /// arrival, and streamed into a sharded FedAvg accumulator so server
   /// memory stays flat no matter how many clients a round samples.
   DesConfig des;
+  /// Wire compression (fed/compress.hpp): quantized broadcast frames and
+  /// top-k sparsified + quantized client deltas with server-held
+  /// error-feedback residuals. Disabled by default — every payload, byte
+  /// count and cache key is then identical to an uncompressed build.
+  CompressionConfig compress;
   /// Optional observer invoked after each task's evaluation, while the
   /// method is still in its prepared-for-eval state (used by the figure
   /// benches to extract features/embeddings per task step).
@@ -85,6 +91,13 @@ struct NetworkStats {
   std::uint64_t retries = 0;      ///< retransmissions, both directions
   std::uint64_t timed_out = 0;    ///< deliveries lost to the round deadline
   std::uint64_t bytes_retransmitted = 0;  ///< wire bytes beyond first attempts
+  // Compression accounting: the f32-serialized bytes the same logical
+  // payloads would have cost uncompressed (first attempts only — retries do
+  // not inflate the raw equivalent). Equal to bytes_down/bytes_up when
+  // compression is off and the transport is inert; the ratio
+  // raw_equiv / bytes is the wire compression factor.
+  std::uint64_t bytes_down_raw_equiv = 0;
+  std::uint64_t bytes_up_raw_equiv = 0;
 };
 
 /// Timing / traffic breakdown of one communication round. The sums over all
@@ -110,6 +123,9 @@ struct RoundStats {
 struct RunResult {
   std::string method_name;
   std::string dataset_name;
+  /// Canonical CompressionConfig::to_string() of the run ("none", "q8,..."),
+  /// so cached cells and JSON output are self-describing.
+  std::string compression = "none";
   std::vector<TaskResult> tasks;
   NetworkStats network;
   double wall_seconds = 0.0;

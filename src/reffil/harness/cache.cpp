@@ -74,6 +74,11 @@ void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer
   writer.write_u64(result.network.retries);
   writer.write_u64(result.network.timed_out);
   writer.write_u64(result.network.bytes_retransmitted);
+  // v3 stopped here: compressed cells replayed from cache would forget they
+  // were compressed and report zero raw-equivalent traffic.
+  writer.write_string(result.compression);
+  writer.write_u64(result.network.bytes_down_raw_equiv);
+  writer.write_u64(result.network.bytes_up_raw_equiv);
   writer.write_f64(result.wall_seconds);
   writer.write_u64(result.rounds.size());
   for (const auto& round : result.rounds) {
@@ -131,6 +136,9 @@ fed::RunResult deserialize_run_result(util::ByteReader& reader) {
   result.network.retries = reader.read_u64();
   result.network.timed_out = reader.read_u64();
   result.network.bytes_retransmitted = reader.read_u64();
+  result.compression = reader.read_string();
+  result.network.bytes_down_raw_equiv = reader.read_u64();
+  result.network.bytes_up_raw_equiv = reader.read_u64();
   result.wall_seconds = reader.read_f64();
   const auto num_rounds = reader.read_u64();
   if (num_rounds > 1000000) throw SerializationError("implausible round count");

@@ -28,9 +28,11 @@ bool cache_enabled();
 /// History: v1 (headerless) lost network.dropped_updates on every cache hit;
 /// v2 added the header, dropped_updates, per-task eval_seconds and the
 /// per-round stats vector; v3 added the transport-fault counters
-/// (quarantined/retries/timed_out/bytes_retransmitted at both granularities).
+/// (quarantined/retries/timed_out/bytes_retransmitted at both granularities);
+/// v4 added the compression string and the raw-equivalent byte counters
+/// (bytes_down_raw_equiv/bytes_up_raw_equiv).
 inline constexpr std::uint32_t kCacheMagic = 0x4C464652u;  // "RFFL"
-inline constexpr std::uint32_t kCacheVersion = 3;
+inline constexpr std::uint32_t kCacheVersion = 4;
 
 /// Stable key for one experiment cell. `fault_tag` is the canonical
 /// FaultProfile::tag() of the run, with DesConfig::tag() appended when the

@@ -127,7 +127,8 @@ fed::RunResult run_experiment(const data::DatasetSpec& spec, MethodKind kind,
                                .parallelism = config.parallelism,
                                .seed = config.seed,
                                .faults = config.faults,
-                               .des = config.des});
+                               .des = config.des,
+                               .compress = config.compress});
   return runner.run(*method);
 }
 
@@ -141,7 +142,8 @@ fed::RunResult run_reffil_variant(const data::DatasetSpec& spec,
                                .parallelism = config.parallelism,
                                .seed = config.seed,
                                .faults = config.faults,
-                               .des = config.des});
+                               .des = config.des,
+                               .compress = config.compress});
   return runner.run(*method);
 }
 

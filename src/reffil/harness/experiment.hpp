@@ -53,6 +53,10 @@ struct ExperimentConfig {
   /// An enabled config changes the cache key via DesConfig::tag(), same
   /// no-aliasing guarantee as faults.
   fed::DesConfig des;
+  /// Wire compression (disabled by default; see fed/compress.hpp). An
+  /// enabled codec changes the cache key via CompressionConfig::tag(), so a
+  /// compressed cell never aliases an uncompressed cached run.
+  fed::CompressionConfig compress;
 };
 
 /// Build a method instance for the given dataset.

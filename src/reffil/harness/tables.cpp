@@ -70,6 +70,7 @@ std::vector<std::vector<double>> CellResult::accuracy_matrix() const {
 CommsSummary CellResult::comms() const {
   REFFIL_CHECK_MSG(!runs.empty(), "empty cell");
   CommsSummary mean;
+  mean.compression = runs.front().compression;
   for (const auto& run : runs) {
     mean.bytes_down += static_cast<double>(run.network.bytes_down);
     mean.bytes_up += static_cast<double>(run.network.bytes_up);
@@ -79,6 +80,9 @@ CommsSummary CellResult::comms() const {
     mean.train_seconds += run.train_seconds();
     mean.aggregate_seconds += run.aggregate_seconds();
     mean.eval_seconds += run.eval_seconds();
+    mean.bytes_down_raw +=
+        static_cast<double>(run.network.bytes_down_raw_equiv);
+    mean.bytes_up_raw += static_cast<double>(run.network.bytes_up_raw_equiv);
   }
   const auto n = static_cast<double>(runs.size());
   mean.bytes_down /= n;
@@ -89,6 +93,8 @@ CommsSummary CellResult::comms() const {
   mean.train_seconds /= n;
   mean.aggregate_seconds /= n;
   mean.eval_seconds /= n;
+  mean.bytes_down_raw /= n;
+  mean.bytes_up_raw /= n;
   return mean;
 }
 
@@ -99,7 +105,8 @@ CellResult run_cell(const data::DatasetSpec& spec, const std::string& order_tag,
     const std::string key =
         cache_key(spec.name, order_tag, method_display_name(kind), seed,
                   to_string(base_config.scale),
-                  base_config.faults.tag() + base_config.des.tag());
+                  base_config.faults.tag() + base_config.des.tag() +
+                      base_config.compress.tag());
     if (auto cached = cache_load(key)) {
       cell.runs.push_back(std::move(*cached));
       continue;
@@ -134,7 +141,8 @@ CellResult run_reffil_variant_cell(const data::DatasetSpec& spec,
     const std::string key =
         cache_key(spec.name, order_tag, variant_name, seed,
                   to_string(base_config.scale),
-                  base_config.faults.tag() + base_config.des.tag());
+                  base_config.faults.tag() + base_config.des.tag() +
+                      base_config.compress.tag());
     if (auto cached = cache_load(key)) {
       cell.runs.push_back(std::move(*cached));
       continue;
@@ -237,16 +245,40 @@ void print_comms_table(const data::DatasetSpec& spec,
   const auto methods = all_method_kinds();
   std::printf("Communication / timing on %s (mean over %zu seeds)\n",
               spec.name.c_str(), bench_seeds().size());
-  std::printf("%-18s %10s %10s %8s %8s %8s %8s %8s %8s\n", "Method",
-              "down MiB", "up MiB", "msgs", "dropped", "wall s", "train s",
-              "agg s", "eval s");
+  std::printf("%-18s %-12s %10s %10s %6s %8s %8s %8s %8s %8s %8s\n", "Method",
+              "compress", "down MiB", "up MiB", "up x", "msgs", "dropped",
+              "wall s", "train s", "agg s", "eval s");
   for (std::size_t m = 0; m < methods.size(); ++m) {
     const CommsSummary c = cells[m].comms();
-    std::printf("%-18s %10.2f %10.2f %8.0f %8.0f %8.2f %8.2f %8.2f %8.2f\n",
-                method_display_name(methods[m]).c_str(),
-                c.bytes_down / 1048576.0, c.bytes_up / 1048576.0, c.messages,
-                c.dropped_updates, c.wall_seconds, c.train_seconds,
+    const double up_ratio = c.bytes_up > 0.0 ? c.bytes_up_raw / c.bytes_up : 1.0;
+    std::printf("%-18s %-12.12s %10.2f %10.2f %6.2f %8.0f %8.0f %8.2f %8.2f "
+                "%8.2f %8.2f\n",
+                method_display_name(methods[m]).c_str(), c.compression.c_str(),
+                c.bytes_down / 1048576.0, c.bytes_up / 1048576.0, up_ratio,
+                c.messages, c.dropped_updates, c.wall_seconds, c.train_seconds,
                 c.aggregate_seconds, c.eval_seconds);
+  }
+  std::printf("\n");
+}
+
+void print_compression_frontier(const data::DatasetSpec& spec,
+                                const std::string& method_name,
+                                const std::vector<CellResult>& cells) {
+  std::printf("Accuracy-vs-bytes frontier: %s on %s (mean over %zu seeds)\n",
+              method_name.c_str(), spec.name.c_str(), bench_seeds().size());
+  std::printf("%-14s %10s %10s %6s %10s %10s %6s %7s %7s\n", "Compression",
+              "up MiB", "up raw", "up x", "down MiB", "down raw", "down x",
+              "Avg", "Last");
+  for (const auto& cell : cells) {
+    const CommsSummary c = cell.comms();
+    const double up_ratio = c.bytes_up > 0.0 ? c.bytes_up_raw / c.bytes_up : 1.0;
+    const double down_ratio =
+        c.bytes_down > 0.0 ? c.bytes_down_raw / c.bytes_down : 1.0;
+    std::printf("%-14.14s %10.2f %10.2f %6.2f %10.2f %10.2f %6.2f %7.2f %7.2f\n",
+                c.compression.c_str(), c.bytes_up / 1048576.0,
+                c.bytes_up_raw / 1048576.0, up_ratio, c.bytes_down / 1048576.0,
+                c.bytes_down_raw / 1048576.0, down_ratio, cell.avg(),
+                cell.last());
   }
   std::printf("\n");
 }

@@ -25,6 +25,11 @@ struct CommsSummary {
   double train_seconds = 0.0;      ///< sum of round train blocks
   double aggregate_seconds = 0.0;  ///< sum of round aggregations
   double eval_seconds = 0.0;       ///< sum of task evaluation sweeps
+  /// Raw f32-equivalent traffic (== bytes_down/bytes_up when uncompressed).
+  double bytes_down_raw = 0.0;
+  double bytes_up_raw = 0.0;
+  /// Canonical compression spec of the cell's runs ("none" by default).
+  std::string compression = "none";
 };
 
 /// One (dataset, order, method) cell aggregated over seeds.
@@ -90,5 +95,14 @@ void print_per_step_table(const data::DatasetSpec& spec,
 /// the table the paper's communication-cost comparison is regenerated from.
 void print_comms_table(const data::DatasetSpec& spec,
                        const std::vector<CellResult>& cells);
+
+/// Print the accuracy-vs-bytes frontier for one (dataset, method): one row
+/// per compression level (cells labelled by their runs' compression spec),
+/// with measured wire traffic, the raw f32-equivalent, the resulting
+/// compression ratios, and the accuracy the level achieves. Renders straight
+/// from cached cells — each level is just a differently-tagged cache key.
+void print_compression_frontier(const data::DatasetSpec& spec,
+                                const std::string& method_name,
+                                const std::vector<CellResult>& cells);
 
 }  // namespace reffil::harness

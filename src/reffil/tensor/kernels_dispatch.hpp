@@ -20,7 +20,10 @@
 //    contraction, polynomial exp); the cross-ISA test suite bounds the
 //    divergence at 1e-5 relative. Elementwise kernels and im2col/col2im
 //    are bitwise-identical across every target (no fused ops, pure data
-//    movement).
+//    movement). The q8 codec kernels are bitwise-identical across targets
+//    on finite inputs too (exact max reduction, shared round-nearest-even,
+//    unfused accumulate — see quant.hpp), which the compressed wire format
+//    relies on for cross-ISA reproducibility.
 //
 // Selection order: the REFFIL_ISA environment variable ("scalar", "avx2",
 // "neon") wins if set — an unknown name throws, a compiled-but-unsupported
@@ -30,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -91,6 +95,20 @@ struct Kernels {
   void (*im2col)(const float* in, float* col, const Conv2dGeom& g);
   /// Adjoint scatter of im2col; `din` must be zero-filled on entry.
   void (*col2im)(const float* dcol, float* din, const Conv2dGeom& g);
+
+  // Q8 block codec (quant.hpp): int8 blocks of quant::kQ8Block with one f32
+  // scale each. Bitwise-identical across targets on finite inputs.
+
+  /// Quantize x[0..n): scales[b] = amax_b/127, q[i] = RNE(x[i] * 127/amax_b).
+  void (*q8_encode)(const float* x, std::int8_t* q, float* scales,
+                    std::size_t n);
+  /// out[i] = scales[i / kQ8Block] * q[i].
+  void (*q8_decode)(const std::int8_t* q, const float* scales, float* out,
+                    std::size_t n);
+  /// y[i] += (s * scales[i / kQ8Block]) * q[i] — dequant-free accumulate
+  /// (one scalar multiply per block, unfused mul-then-add per element).
+  void (*q8_axpy)(float* y, float s, const std::int8_t* q, const float* scales,
+                  std::size_t n);
 };
 
 /// The table selected for this process. Resolved once on first use

@@ -15,10 +15,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include "reffil/tensor/kernels.hpp"
+#include "reffil/tensor/quant.hpp"
 
 namespace reffil::tensor::kern {
 namespace neon {
@@ -53,6 +55,94 @@ inline float vreduce_add(vfloat v) {
   return vget_lane_f32(vpadd_f32(s, s), 0);
 }
 inline float vreduce_max(vfloat v) { return vmaxvq_f32(v); }
+
+// ---- Q8 block codec --------------------------------------------------------
+// Bitwise-identical to detail::q8_* on finite inputs: vmaxvq is an exact
+// max reduction, vcvtnq_s32_f32 is round-nearest-even (the same rounding
+// nearbyintf performs under the default mode), int8 widening and the
+// saturating narrows are exact for values the clamp bounds to [-127, 127].
+// Partial tail blocks delegate to the scalar reference.
+
+inline void q8_encode(const float* x, std::int8_t* q, float* scales,
+                      std::size_t n) {
+  const std::size_t nfull = n - n % quant::kQ8Block;
+  const float32x4_t lo = vdupq_n_f32(-127.0f);
+  const float32x4_t hi = vdupq_n_f32(127.0f);
+  for (std::size_t b0 = 0; b0 < nfull; b0 += quant::kQ8Block) {
+    float32x4_t vmaxabs = vabsq_f32(vld1q_f32(x + b0));
+    for (std::size_t i = 4; i < quant::kQ8Block; i += 4) {
+      vmaxabs = vmaxq_f32(vmaxabs, vabsq_f32(vld1q_f32(x + b0 + i)));
+    }
+    const float amax = vmaxvq_f32(vmaxabs);
+    float* scale = scales + b0 / quant::kQ8Block;
+    if (!(amax >= quant::kQ8TinyAmax)) {
+      *scale = 0.0f;
+      std::memset(q + b0, 0, quant::kQ8Block);
+      continue;
+    }
+    *scale = amax / 127.0f;
+    const float32x4_t vis = vdupq_n_f32(127.0f / amax);
+    for (std::size_t i = 0; i < quant::kQ8Block; i += 16) {
+      int16x8_t half[2];
+      for (std::size_t h = 0; h < 2; ++h) {
+        const float32x4_t t0 = vminq_f32(
+            vmaxq_f32(vmulq_f32(vld1q_f32(x + b0 + i + 8 * h), vis), lo), hi);
+        const float32x4_t t1 = vminq_f32(
+            vmaxq_f32(vmulq_f32(vld1q_f32(x + b0 + i + 8 * h + 4), vis), lo),
+            hi);
+        half[h] = vcombine_s16(vqmovn_s32(vcvtnq_s32_f32(t0)),
+                               vqmovn_s32(vcvtnq_s32_f32(t1)));
+      }
+      vst1q_s8(q + b0 + i, vcombine_s8(vqmovn_s16(half[0]),
+                                       vqmovn_s16(half[1])));
+    }
+  }
+  if (nfull != n) {
+    detail::q8_encode(x + nfull, q + nfull, scales + nfull / quant::kQ8Block,
+                      n - nfull);
+  }
+}
+
+inline void q8_decode(const std::int8_t* q, const float* scales, float* out,
+                      std::size_t n) {
+  const std::size_t nfull = n - n % quant::kQ8Block;
+  for (std::size_t b0 = 0; b0 < nfull; b0 += quant::kQ8Block) {
+    const float32x4_t vs = vdupq_n_f32(scales[b0 / quant::kQ8Block]);
+    for (std::size_t i = 0; i < quant::kQ8Block; i += 8) {
+      const int16x8_t w = vmovl_s8(vld1_s8(q + b0 + i));
+      const float32x4_t q0 = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+      const float32x4_t q1 = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w)));
+      vst1q_f32(out + b0 + i, vmulq_f32(vs, q0));
+      vst1q_f32(out + b0 + i + 4, vmulq_f32(vs, q1));
+    }
+  }
+  if (nfull != n) {
+    detail::q8_decode(q + nfull, scales + nfull / quant::kQ8Block, out + nfull,
+                      n - nfull);
+  }
+}
+
+inline void q8_axpy(float* y, float s, const std::int8_t* q,
+                    const float* scales, std::size_t n) {
+  const std::size_t nfull = n - n % quant::kQ8Block;
+  for (std::size_t b0 = 0; b0 < nfull; b0 += quant::kQ8Block) {
+    const float32x4_t vc = vdupq_n_f32(s * scales[b0 / quant::kQ8Block]);
+    for (std::size_t i = 0; i < quant::kQ8Block; i += 8) {
+      const int16x8_t w = vmovl_s8(vld1_s8(q + b0 + i));
+      const float32x4_t q0 = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+      const float32x4_t q1 = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w)));
+      // Unfused mul-then-add, matching the scalar reference bitwise.
+      vst1q_f32(y + b0 + i,
+                vaddq_f32(vld1q_f32(y + b0 + i), vmulq_f32(vc, q0)));
+      vst1q_f32(y + b0 + i + 4,
+                vaddq_f32(vld1q_f32(y + b0 + i + 4), vmulq_f32(vc, q1)));
+    }
+  }
+  if (nfull != n) {
+    detail::q8_axpy(y + nfull, s, q + nfull, scales + nfull / quant::kQ8Block,
+                    n - nfull);
+  }
+}
 
 #define REFFIL_KERN_ISA_NAME "neon"
 #include "reffil/tensor/kernels_simd.inl"

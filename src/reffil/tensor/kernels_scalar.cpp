@@ -6,6 +6,7 @@
 
 #include "reffil/tensor/kernels.hpp"
 #include "reffil/tensor/kernels_dispatch.hpp"
+#include "reffil/tensor/quant.hpp"
 
 namespace reffil::tensor::kern {
 
@@ -23,6 +24,9 @@ constexpr Kernels kScalarTable = {
     &detail::log_softmax_rows,
     &detail::im2col,
     &detail::col2im,
+    &detail::q8_encode,
+    &detail::q8_decode,
+    &detail::q8_axpy,
 };
 
 }  // namespace

@@ -13,6 +13,10 @@
 //   vreduce_add / vreduce_max       lane reduction (fixed lane order)
 //   vround_nearest                  lanewise round-to-nearest-even
 //   vpow2i(n)                       2^int(n) via exponent-field construction
+//   q8_encode / q8_decode / q8_axpy target implementations of the Q8 block
+//                                   codec (quant.hpp) — defined before this
+//                                   include; must be bitwise-identical to
+//                                   detail::q8_* on finite inputs
 //   REFFIL_KERN_ISA_NAME            the table name string
 //
 // Determinism: per output element the matmul kernels perform exactly one
@@ -374,4 +378,7 @@ inline constexpr Kernels kTable = {
     &log_softmax_rows,
     &detail::im2col,
     &detail::col2im,
+    &q8_encode,
+    &q8_decode,
+    &q8_axpy,
 };

@@ -22,6 +22,11 @@ class ByteWriter {
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
   std::size_t size() const { return bytes_.size(); }
 
+  /// Pre-size the buffer (serialized_size() on the hot federated paths), so
+  /// multi-MB state frames are written into one allocation instead of paying
+  /// log2(size) grow-and-copy reallocations.
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
   template <typename T>
   void write_pod(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -84,6 +89,24 @@ class ByteReader {
   std::int64_t read_i64() { return read_pod<std::int64_t>(); }
   float read_f32() { return read_pod<float>(); }
   double read_f64() { return read_pod<double>(); }
+
+  /// Advance past n bytes without decoding them (frame walkers that account
+  /// or validate sections without materializing their contents).
+  void skip(std::size_t n) {
+    require(n);
+    offset_ += n;
+  }
+
+  /// Borrow n raw bytes in place and advance past them. The pointer aliases
+  /// the underlying buffer (valid for its lifetime, byte-aligned only) —
+  /// this is what lets the dequant-free accumulate stream int8 blocks
+  /// straight out of the wire frame without a copy.
+  const std::uint8_t* view(std::size_t n) {
+    require(n);
+    const std::uint8_t* p = data_ + offset_;
+    offset_ += n;
+    return p;
+  }
 
   std::string read_string() {
     const auto n = read_u64();

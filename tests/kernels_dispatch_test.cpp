@@ -33,6 +33,7 @@
 #include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/parallel.hpp"
+#include "reffil/tensor/quant.hpp"
 #include "reffil/tensor/tensor.hpp"
 #include "reffil/util/rng.hpp"
 
@@ -479,6 +480,118 @@ TEST(KernelSemantics, SingleElementRow) {
     EXPECT_FLOAT_EQ(sm, 1.0f);
     EXPECT_FLOAT_EQ(lsm, 0.0f);
   }
+}
+
+// ---- q8 block codec (quant.hpp) --------------------------------------------
+
+TEST(CrossIsa, Q8CodecBitwiseMatchesScalar) {
+  // The compressed wire format's cross-ISA reproducibility rests on the q8
+  // kernels being BITWISE-identical across targets on finite inputs — not
+  // merely 1e-5-close like matmul. Sizes cover empty, sub-block, exact
+  // multiples of kQ8Block, and straggler tails.
+  namespace quant = T::quant;
+  const kern::Kernels* scalar = kern::by_name("scalar");
+  ASSERT_NE(scalar, nullptr);
+  for (const std::size_t n : {0u, 1u, 31u, 32u, 33u, 64u, 257u, 1003u}) {
+    auto x = random_vec(n, 1000 + n);
+    // Plant a tiny block (below kQ8TinyAmax -> scale 0) and exact zeros.
+    for (std::size_t i = 0; i < std::min<std::size_t>(n, quant::kQ8Block); ++i) {
+      x[i] = (i % 2 == 0) ? 0.0f : 1e-40f;
+    }
+    const std::size_t blocks = quant::q8_num_blocks(n);
+    std::vector<std::int8_t> ref_q(n), q(n);
+    std::vector<float> ref_scales(blocks), scales(blocks);
+    scalar->q8_encode(x.data(), ref_q.data(), ref_scales.data(), n);
+    std::vector<float> ref_dec(n), dec(n);
+    scalar->q8_decode(ref_q.data(), ref_scales.data(), ref_dec.data(), n);
+    auto ref_y = random_vec(n, 2000 + n);
+    auto y = ref_y;
+    const float s = 0.731f;
+    scalar->q8_axpy(ref_y.data(), s, ref_q.data(), ref_scales.data(), n);
+    for (const kern::Kernels* t : simd_targets()) {
+      SCOPED_TRACE(std::string(t->name) + " n=" + std::to_string(n));
+      t->q8_encode(x.data(), q.data(), scales.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(q[i], ref_q[i]) << "q8_encode q index " << i;
+      }
+      expect_bitwise(scales, ref_scales, "q8_encode scales");
+      t->q8_decode(ref_q.data(), ref_scales.data(), dec.data(), n);
+      expect_bitwise(dec, ref_dec, "q8_decode");
+      auto ty = y;
+      t->q8_axpy(ty.data(), s, ref_q.data(), ref_scales.data(), n);
+      expect_bitwise(ty, ref_y, "q8_axpy");
+    }
+  }
+}
+
+TEST(CrossIsa, Q8RoundTripErrorBoundedByHalfStep) {
+  // Decoded values sit within scale/2 = amax/254 of the original per block,
+  // on every runnable target.
+  namespace quant = T::quant;
+  const std::size_t n = 321;
+  const auto x = random_vec(n, 4242);
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    std::vector<std::int8_t> q(n);
+    std::vector<float> scales(quant::q8_num_blocks(n));
+    t->q8_encode(x.data(), q.data(), scales.data(), n);
+    std::vector<float> dec(n);
+    t->q8_decode(q.data(), scales.data(), dec.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float half_step = 0.5f * scales[i / quant::kQ8Block] + 1e-7f;
+      ASSERT_NEAR(dec[i], x[i], half_step) << "index " << i;
+    }
+  }
+}
+
+TEST(CrossIsa, Q8AxpyMatchesUnfusedDecodeThenAccumulate) {
+  // The dequant-free contract: q8_axpy(y, s, ...) must equal the unfused
+  // scalar expression y[i] += (s * scales[b]) * q[i] bitwise — NOT an FMA
+  // variant, and NOT s * (scales[b] * q[i]) (different rounding).
+  namespace quant = T::quant;
+  const std::size_t n = 130;
+  const auto x = random_vec(n, 5150);
+  std::vector<std::int8_t> q(n);
+  std::vector<float> scales(quant::q8_num_blocks(n));
+  kern::by_name("scalar")->q8_encode(x.data(), q.data(), scales.data(), n);
+  const float s = -1.0f / 3.0f;
+  const auto y0 = random_vec(n, 5151);
+  std::vector<float> expect = y0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float c = s * scales[i / quant::kQ8Block];
+    const float prod = c * static_cast<float>(q[i]);  // rounded before the add
+    expect[i] += prod;
+  }
+  for (const kern::Kernels* t : kern::runnable()) {
+    SCOPED_TRACE(t->name);
+    auto y = y0;
+    t->q8_axpy(y.data(), s, q.data(), scales.data(), n);
+    expect_bitwise(y, expect, "q8_axpy vs unfused reference");
+  }
+}
+
+TEST(KernelSemantics, F16RoundTripClampsAndStaysFinite) {
+  namespace quant = T::quant;
+  // Exact halves round-trip exactly; overflow and non-finite clamp to
+  // +-65504; the rounding boundary 65520 (first f32 that would RNE to Inf)
+  // must clamp, not overflow.
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(1.0f)), 1.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(-0.5f)), -0.5f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(65504.0f)), 65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(65520.0f)), 65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(1e30f)), 65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(-1e30f)), -65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(kInf)), 65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(-kInf)), -65504.0f);
+  EXPECT_EQ(quant::f16_to_f32(quant::f32_to_f16(kNaN)), 65504.0f);
+  // Subnormal halves survive.
+  const float tiny = 6e-8f;
+  EXPECT_NEAR(quant::f16_to_f32(quant::f32_to_f16(tiny)), tiny, 6e-8f);
+  // f16_is_finite rejects Inf/NaN bit patterns.
+  EXPECT_FALSE(quant::f16_is_finite(0x7C00));  // +Inf
+  EXPECT_FALSE(quant::f16_is_finite(0xFC00));  // -Inf
+  EXPECT_FALSE(quant::f16_is_finite(0x7E00));  // NaN
+  EXPECT_TRUE(quant::f16_is_finite(quant::f32_to_f16(123.456f)));
 }
 
 TEST(KernelSemantics, SoftmaxRowRangeIsPartitionInvariant) {

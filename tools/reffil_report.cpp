@@ -109,14 +109,15 @@ void comms_tables() {
   for (const auto& spec : data::all_dataset_specs()) {
     std::printf("**%s** (mean over seeds; MiB of metered payload bytes)\n\n",
                 spec.name.c_str());
-    std::printf("| Method | down MiB | up MiB | messages | dropped | wall s | "
+    std::printf("| Method | compress | down MiB | up MiB | up x | messages | "
+                "dropped | wall s | "
                 "train s | round p50/p95/p99 ms | aggregate s | eval s |\n");
-    std::printf("|---|---|---|---|---|---|---|---|---|---|\n");
+    std::printf("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for (const auto kind : harness::all_method_kinds()) {
       const auto name = harness::method_display_name(kind);
       const auto cell = load_cell(spec, "orig", name);
       if (!cell) {
-        std::printf("| %s | (pending) | | | | | | | | |\n", name.c_str());
+        std::printf("| %s | (pending) | | | | | | | | | | |\n", name.c_str());
         continue;
       }
       const harness::CommsSummary c = cell->comms();
@@ -127,14 +128,17 @@ void comms_tables() {
         for (const auto& r : run.rounds) round_hist.observe(r.train_seconds);
       }
       const auto hs = round_hist.snapshot();
-      std::printf("| %s | %.2f | %.2f | %.0f | %.0f | %.2f | %.2f | "
-                  "%.1f / %.1f / %.1f | %.2f | %.2f |\n",
-                  name.c_str(), c.bytes_down / 1048576.0,
-                  c.bytes_up / 1048576.0, c.messages, c.dropped_updates,
-                  c.wall_seconds, c.train_seconds,
-                  hs.quantile(0.50) * 1e3, hs.quantile(0.95) * 1e3,
-                  hs.quantile(0.99) * 1e3, c.aggregate_seconds,
-                  c.eval_seconds);
+      // Uplink compression ratio: raw f32-equivalent over metered wire bytes
+      // (1.00 for uncompressed cells, where the two counters coincide).
+      const double up_ratio = c.bytes_up > 0 ? c.bytes_up_raw / c.bytes_up : 1.0;
+      std::printf("| %s | %s | %.2f | %.2f | %.2f | %.0f | %.0f | %.2f | "
+                  "%.2f | %.1f / %.1f / %.1f | %.2f | %.2f |\n",
+                  name.c_str(), c.compression.c_str(),
+                  c.bytes_down / 1048576.0, c.bytes_up / 1048576.0, up_ratio,
+                  c.messages, c.dropped_updates, c.wall_seconds,
+                  c.train_seconds, hs.quantile(0.50) * 1e3,
+                  hs.quantile(0.95) * 1e3, hs.quantile(0.99) * 1e3,
+                  c.aggregate_seconds, c.eval_seconds);
     }
     std::printf("\n");
   }

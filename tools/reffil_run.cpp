@@ -22,6 +22,11 @@
 //                     fed/scheduler.hpp. E.g. a million-client federation
 //                     sampling 10k participants per round:
 //                       --des registered=1000000,sample=10000
+//   --compress SPEC   wire compression: none | f16 | q8, optionally with
+//                     ,topk=F (fraction of delta entries uploaded, (0,1]) —
+//                     see fed/compress.hpp. E.g. quantized broadcast plus
+//                     top-10% sparsified q8 deltas:
+//                       --compress q8,topk=0.1
 //   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
 //   --json            machine-readable output
 //   --list            print datasets and methods, then exit
@@ -44,8 +49,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
                "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
-               "[--fault-profile SPEC] [--des SPEC] [--profile PATH] "
-               "[--json]\n"
+               "[--fault-profile SPEC] [--des SPEC] [--compress SPEC] "
+               "[--profile PATH] [--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -89,10 +94,25 @@ void print_json(const fed::RunResult& result) {
     }
     std::printf("]}");
   }
+  // Compression ratios: raw-equivalent over wire bytes (1 when the run is
+  // uncompressed, so the fields are always present and always comparable).
+  const double down_ratio =
+      result.network.bytes_down > 0
+          ? static_cast<double>(result.network.bytes_down_raw_equiv) /
+                static_cast<double>(result.network.bytes_down)
+          : 1.0;
+  const double up_ratio =
+      result.network.bytes_up > 0
+          ? static_cast<double>(result.network.bytes_up_raw_equiv) /
+                static_cast<double>(result.network.bytes_up)
+          : 1.0;
   std::printf("],\"participants\":%llu,"
               "\"bytes_down\":%llu,\"bytes_up\":%llu,\"messages\":%llu,"
               "\"dropped\":%llu,\"quarantined\":%llu,\"retries\":%llu,"
               "\"timed_out\":%llu,\"bytes_retransmitted\":%llu,"
+              "\"compression\":\"%s\","
+              "\"bytes_down_raw_equiv\":%llu,\"bytes_up_raw_equiv\":%llu,"
+              "\"compression_ratio_down\":%.4f,\"compression_ratio_up\":%.4f,"
               "\"wall_seconds\":%.3f,\"train_seconds\":%.3f,"
               "\"aggregate_seconds\":%.3f,\"eval_seconds\":%.3f",
               static_cast<unsigned long long>(total_participants(result)),
@@ -105,8 +125,14 @@ void print_json(const fed::RunResult& result) {
               static_cast<unsigned long long>(result.network.timed_out),
               static_cast<unsigned long long>(
                   result.network.bytes_retransmitted),
-              result.wall_seconds, result.train_seconds(),
-              result.aggregate_seconds(), result.eval_seconds());
+              result.compression.c_str(),
+              static_cast<unsigned long long>(
+                  result.network.bytes_down_raw_equiv),
+              static_cast<unsigned long long>(
+                  result.network.bytes_up_raw_equiv),
+              down_ratio, up_ratio, result.wall_seconds,
+              result.train_seconds(), result.aggregate_seconds(),
+              result.eval_seconds());
 
   // Bucket-estimated quantiles for the phase histograms the runner feeds
   // (satellite: Registry::Snapshot now carries the buckets).
@@ -129,7 +155,7 @@ void print_json(const fed::RunResult& result) {
 
 int main(int argc, char** argv) {
   std::string dataset_name, method_name, order = "orig", scale = "scaled";
-  std::string profile_path, fault_spec, des_spec;
+  std::string profile_path, fault_spec, des_spec, compress_spec;
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
@@ -183,6 +209,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       des_spec = v;
+    } else if (arg == "--compress") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      compress_spec = v;
     } else if (arg == "--profile") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -259,6 +289,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  fed::CompressionConfig compress;
+  if (!compress_spec.empty()) {
+    try {
+      compress = fed::CompressionConfig::parse(compress_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --compress: %s\n", e.what());
+      return 2;
+    }
+  }
 
   const auto scaled_spec = harness::apply_scale(spec, config.scale);
   auto method = harness::make_method(*kind, scaled_spec, config);
@@ -267,7 +306,8 @@ int main(int argc, char** argv) {
                             .seed = config.seed,
                             .dropout_probability = dropout,
                             .faults = faults,
-                            .des = des};
+                            .des = des,
+                            .compress = compress};
   fed::FederatedRunner runner(run_config);
   fed::RunResult result;
   try {
@@ -314,13 +354,31 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(total_participants(result)),
                   result.rounds.size());
     }
+    std::string compress_note;
+    if (result.compression != "none") {
+      const double down_ratio =
+          result.network.bytes_down > 0
+              ? static_cast<double>(result.network.bytes_down_raw_equiv) /
+                    static_cast<double>(result.network.bytes_down)
+              : 1.0;
+      const double up_ratio =
+          result.network.bytes_up > 0
+              ? static_cast<double>(result.network.bytes_up_raw_equiv) /
+                    static_cast<double>(result.network.bytes_up)
+              : 1.0;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "  [%s: %.1fx down, %.1fx up]",
+                    result.compression.c_str(), down_ratio, up_ratio);
+      compress_note = buf;
+    }
     std::printf("Avg %.2f%%  Last %.2f%%  traffic %.1f MiB down / %.1f MiB up"
-                "%s  wall %.1fs (train %.1fs, aggregate %.1fs, eval %.1fs)\n",
+                "%s%s  wall %.1fs (train %.1fs, aggregate %.1fs, eval %.1fs)\n",
                 result.average_accuracy(), result.last_accuracy(),
                 result.network.bytes_down / 1048576.0,
-                result.network.bytes_up / 1048576.0, dropped_note.c_str(),
-                result.wall_seconds, result.train_seconds(),
-                result.aggregate_seconds(), result.eval_seconds());
+                result.network.bytes_up / 1048576.0, compress_note.c_str(),
+                dropped_note.c_str(), result.wall_seconds,
+                result.train_seconds(), result.aggregate_seconds(),
+                result.eval_seconds());
   }
   return 0;
 }
