@@ -1,0 +1,254 @@
+// Live health & anomaly monitoring for a federated run.
+//
+// Post-mortem traces tell you a run went wrong; a health monitor tells you
+// *while it is still running*. A RunMonitor bundles the three live views the
+// runner feeds at round boundaries:
+//
+//   * a TimeSeries store (util/timeseries.hpp) sampling the metrics registry,
+//   * a HealthMonitor evaluating pluggable per-round detectors,
+//   * a ProgressBoard the exposition server (util/expo.hpp) renders as
+//     /progress JSON and /metrics extras.
+//
+// Detectors (each disabled by setting its knob <= 0):
+//   norm_z          |z| of the round's mean accepted-update L2 norm against a
+//                   trailing window of previous rounds — a drifting or
+//                   hostile cohort moves this first (cf. Byzantine-tolerant
+//                   aggregation, which consumes exactly these statistics)
+//   quarantine_rate quarantined / selected within one round — poisoning or
+//                   validator regressions spike it
+//   latency_slo_s   round wall seconds SLO; fires when more than slo_burn of
+//                   the trailing slo_window rounds exceeded it (burn rate,
+//                   not a single outlier)
+//   accuracy_drop   per-task cumulative accuracy more than this many points
+//                   below the mean of previously completed tasks
+//
+// A firing appends a HealthEvent to the run log, emits a structured `health`
+// trace event, and flips the /healthz status to degraded with the reason;
+// the status recovers after recovery_rounds consecutive clean rounds. All of
+// this is observation only: detectors never touch payloads, never draw
+// randomness, and never change control flow, so an armed monitor leaves run
+// results bitwise-identical (tested) and a missing monitor costs the hot
+// path nothing but one null-pointer check per round.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reffil/util/timeseries.hpp"
+
+namespace reffil::fed {
+
+struct MonitorConfig {
+  std::size_t timeseries_capacity = 512;  ///< retained TimePoint rows
+  double wallclock_interval_s = 5.0;      ///< mid-round DES sampling cadence
+  // Detector knobs; a non-positive value disables that detector.
+  double norm_z = 4.0;             ///< z-score threshold for norm drift
+  std::size_t norm_window = 8;     ///< trailing rounds in the norm baseline
+  double quarantine_rate = 0.25;   ///< quarantined / selected per round
+  double latency_slo_s = 0.0;      ///< round wall-seconds SLO (off by default)
+  double slo_burn = 0.5;           ///< firing fraction of the SLO window
+  std::size_t slo_window = 10;
+  double accuracy_drop = 2.0;      ///< points below trailing-task mean
+  std::size_t recovery_rounds = 5; ///< clean rounds until healthy again
+
+  /// Parse a comma-separated "key=value" spec (keys above, e.g.
+  /// "quarantine_rate=0.1,latency_slo=2.5,norm_z=3"). Unknown keys or
+  /// unparsable values throw ConfigError; empty spec yields the defaults.
+  static MonitorConfig parse(const std::string& spec);
+};
+
+/// One detector firing. Stored on the RunResult (and in the cache), emitted
+/// as a `health` trace event, listed by /progress and reffil_report.
+struct HealthEvent {
+  std::uint32_t task = 0;
+  std::uint32_t round = 0;          ///< round within the task
+  std::uint64_t global_round = 0;   ///< curriculum-order round index
+  std::string detector;             ///< "norm_z" | "quarantine_rate" | ...
+  double value = 0.0;               ///< observed statistic
+  double threshold = 0.0;           ///< configured limit it crossed
+  std::string detail;               ///< human-readable cause
+};
+
+/// Compact monitor accounting carried on the RunResult (and the cache) so
+/// post-hoc tools know a run was monitored and how much history survived.
+struct MonitorSummary {
+  bool enabled = false;
+  std::uint64_t samples_taken = 0;     ///< time-series rows ever recorded
+  std::uint64_t samples_retained = 0;  ///< of which still in the ring
+  std::uint64_t samples_capacity = 0;
+  std::uint64_t alerts = 0;            ///< detector firings over the run
+  bool healthy_at_end = true;
+};
+
+/// Everything the detectors consume about one committed round. The runner
+/// fills it from RoundStats plus the per-update norm accumulation it already
+/// did during the uplink sweep.
+struct RoundObservation {
+  std::uint32_t task = 0;
+  std::uint32_t round = 0;
+  std::uint64_t global_round = 0;
+  std::uint32_t selected = 0;
+  std::uint32_t accepted = 0;
+  std::uint32_t dropped = 0;
+  std::uint32_t quarantined = 0;
+  std::uint32_t timed_out = 0;
+  double round_seconds = 0.0;  ///< train + aggregate wall time
+  double sim_time_s = 0.0;
+  // Moments of the accepted updates' model-state L2 norms (Welford):
+  std::uint32_t norm_count = 0;
+  double norm_mean = 0.0;
+  double norm_m2 = 0.0;  ///< sum of squared deviations from norm_mean
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(MonitorConfig config);
+
+  /// Evaluate every per-round detector; returns (and records) the firings.
+  std::vector<HealthEvent> observe_round(const RoundObservation& o);
+
+  /// Evaluate the accuracy-regression detector after a task's evaluation.
+  std::vector<HealthEvent> observe_eval(std::uint32_t task,
+                                        double cumulative_accuracy,
+                                        std::uint64_t global_round);
+
+  /// /healthz view: healthy unless a detector fired within the last
+  /// recovery_rounds committed rounds.
+  bool healthy() const;
+  std::string reason() const;  ///< latest firing's detail ("" while healthy)
+
+  std::vector<HealthEvent> events() const;  ///< all firings, in order
+  const MonitorConfig& config() const { return config_; }
+
+ private:
+  void fire(const RoundObservation& o, std::string detector, double value,
+            double threshold, std::string detail,
+            std::vector<HealthEvent>& out);
+
+  mutable std::mutex mutex_;
+  MonitorConfig config_;
+  std::deque<double> norm_history_;  ///< per-round mean norms (trailing)
+  std::deque<bool> slo_history_;     ///< true = round exceeded the SLO
+  std::vector<double> task_accuracy_;
+  std::vector<HealthEvent> events_;
+  std::uint64_t rounds_seen_ = 0;
+  std::uint64_t last_fire_seen_ = 0;  ///< rounds_seen_ at the latest firing
+  bool ever_fired_ = false;
+  std::string reason_;
+};
+
+/// Live progress shared between the runner (sole writer) and the exposition
+/// server / monitor CLI (readers). Plain data; render_json() is the
+/// /progress body.
+struct ProgressSnapshot {
+  std::string method;
+  std::string dataset;
+  std::uint64_t tasks_total = 0;
+  std::uint64_t rounds_per_task = 0;
+  std::uint64_t task = 0;            ///< current (0-based) task
+  std::uint64_t round_in_task = 0;   ///< rounds committed within the task
+  std::uint64_t rounds_done = 0;     ///< rounds committed overall
+  std::uint64_t rounds_total = 0;
+  std::uint64_t participants = 0;    ///< cumulative selected
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down_raw_equiv = 0;
+  std::uint64_t bytes_up_raw_equiv = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t bytes_retransmitted = 0;
+  double round_p50_s = 0.0;  ///< round train-time quantiles, this run only
+  double round_p95_s = 0.0;
+  double round_p99_s = 0.0;
+  std::vector<double> task_accuracy;  ///< cumulative accuracy per done task
+  double sim_time_s = 0.0;
+  double wall_seconds = 0.0;
+  bool done = false;
+  bool healthy = true;
+  std::string health_reason;
+  std::vector<HealthEvent> alerts;  ///< most recent firings (bounded)
+
+  std::string render_json() const;
+};
+
+class ProgressBoard {
+ public:
+  void update(ProgressSnapshot snap);
+  ProgressSnapshot get() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ProgressSnapshot snap_;
+};
+
+// Forward declarations so this header stays includable from runtime.hpp
+// (which defines these types) without a cycle.
+struct RunResult;
+struct RoundStats;
+
+/// Welford accumulator the runner's uplink sweep feeds with per-update
+/// model-state L2 norms (fed::update_state_l2_norm).
+struct NormAccumulator {
+  std::uint32_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double x) {
+    ++count;
+    const double d = x - mean;
+    mean += d / static_cast<double>(count);
+    m2 += d * (x - mean);
+  }
+};
+
+/// The bundle a monitored run carries: time series + health + progress.
+/// Created by the driver (reffil_run --serve-metrics), handed to the runner
+/// via RunConfig::monitor, read by the exposition server. All hooks are
+/// cheap (mutex + map copy at round cadence) and rng-free.
+class RunMonitor {
+ public:
+  explicit RunMonitor(MonitorConfig config);
+
+  obs::TimeSeries& timeseries() { return timeseries_; }
+  HealthMonitor& health() { return health_; }
+  ProgressBoard& board() { return board_; }
+  const MonitorConfig& config() const { return config_; }
+
+  // -- runner hooks ----------------------------------------------------------
+  void on_run_start(const std::string& method, const std::string& dataset,
+                    std::uint64_t tasks_total, std::uint64_t rounds_per_task);
+  /// Called from commit_round with the run-so-far result, the committed
+  /// round, and the uplink norm statistics.
+  void on_round(const RunResult& result, const RoundStats& round,
+                std::uint64_t global_round, double sim_time_s,
+                const NormAccumulator& norms);
+  /// Mid-wave wall-clock sampling for long DES rounds.
+  void on_wave(double sim_time_s, std::uint64_t global_round);
+  void on_eval(std::uint32_t task, double cumulative_accuracy);
+  /// Marks the board done and copies the health log + time-series summary
+  /// into the result (RunResult::health / RunResult::monitor).
+  void finalize(RunResult& result);
+
+ private:
+  void refresh_board(const RunResult& result, const RoundStats* round,
+                     double sim_time_s);
+
+  MonitorConfig config_;
+  obs::TimeSeries timeseries_;
+  HealthMonitor health_;
+  ProgressBoard board_;
+  obs::Histogram round_latency_;  ///< this run's per-round train+agg seconds
+  std::uint64_t global_round_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace reffil::fed

@@ -120,6 +120,14 @@ RunResult FederatedRunner::run(Method& method) {
                    .field("rounds_per_task", spec.rounds_per_task)
                    .field("seed", config_.seed));
   }
+  // Live telemetry is observation only: every monitor touch below is guarded
+  // by this null check and reads state the run already computed, so an
+  // unmonitored run pays nothing and a monitored one stays bitwise-identical.
+  RunMonitor* const monitor = config_.monitor.get();
+  if (monitor != nullptr) {
+    monitor->on_run_start(result.method_name, result.dataset_name,
+                          spec.domains.size(), spec.rounds_per_task);
+  }
 
   for (std::size_t task = 0; task < spec.domains.size(); ++task) {
     method.on_task_start(task);
@@ -226,6 +234,7 @@ RunResult FederatedRunner::run(Method& method) {
       // the per-round fault counters and result.rounds must agree no matter
       // how the round ends (the lost-round `continue` used to skip the
       // counter, so fed.rounds drifted from result.rounds.size()).
+      NormAccumulator norm_acc;  // accepted-update norms, monitor-armed only
       const auto commit_round = [&](const char* lost_reason) {
         rounds_counter.add(1);
         if (lost_reason != nullptr && tracing) {
@@ -243,6 +252,10 @@ RunResult FederatedRunner::run(Method& method) {
         result.network.timed_out += round_stats.timed_out;
         result.network.bytes_retransmitted += round_stats.bytes_retransmitted;
         result.rounds.push_back(round_stats);
+        if (monitor != nullptr) {
+          monitor->on_round(result, round_stats, result.rounds.size(),
+                            /*sim_time_s=*/0.0, norm_acc);
+        }
       };
       if (plan.participants.empty()) {  // whole round lost before training
         commit_round("no participants survived dropout/transport");
@@ -379,6 +392,14 @@ RunResult FederatedRunner::run(Method& method) {
                            .field("samples", updates[i].num_samples)
                            .field("bytes_up", wire_bytes));
           }
+          if (monitor != nullptr && delivered) {
+            // Feed the drift detector the norm of what the server will
+            // aggregate (post-transport bytes). Read-only, so the training
+            // path is untouched with or without a monitor.
+            if (const auto norm = update_state_l2_norm(updates[i].payload)) {
+              norm_acc.add(*norm);
+            }
+          }
           if (faults_armed && delivered) {
             accepted.push_back(std::move(updates[i]));
           }
@@ -438,6 +459,10 @@ RunResult FederatedRunner::run(Method& method) {
     }
 
     evaluate_task(method, task, result);
+    if (monitor != nullptr) {
+      monitor->on_eval(static_cast<std::uint32_t>(task),
+                       result.tasks.back().cumulative_accuracy);
+    }
     if (config_.after_task) config_.after_task(method, task);
     REFFIL_LOG_INFO << spec.name << " / " << method.name() << ": task "
                     << (task + 1) << "/" << spec.domains.size() << " ("
@@ -488,6 +513,12 @@ RunResult FederatedRunner::run(Method& method) {
   // Persist the op-level profile (no-op when no profile sink is armed) so a
   // profiled run yields a loadable trace even without a clean process exit.
   obs::prof::flush();
+  if (monitor != nullptr) {
+    // One closing sample so the final time-series row carries the run-end
+    // registry totals (fed.bytes_up etc.), then snapshot health into result.
+    monitor->timeseries().sample(0.0, result.rounds.size());
+    monitor->finalize(result);
+  }
   return result;
 }
 
@@ -539,6 +570,13 @@ RunResult FederatedRunner::run_des(Method& method) {
                    .field("seed", config_.seed)
                    .field("registered_clients", config_.des.registered_clients)
                    .field("sample_per_round", scheduler.sample_per_round()));
+  }
+  // Same observation-only contract as the dense loop: every monitor touch is
+  // guarded by this null check and reads already-computed state.
+  RunMonitor* const monitor = config_.monitor.get();
+  if (monitor != nullptr) {
+    monitor->on_run_start(result.method_name, result.dataset_name,
+                          spec.domains.size(), spec.rounds_per_task);
   }
 
   std::size_t global_round = 0;
@@ -635,6 +673,7 @@ RunResult FederatedRunner::run_des(Method& method) {
         }
         plan.participants = std::move(alive);
       }
+      NormAccumulator norm_acc;  // accepted-update norms, monitor-armed only
       const auto commit_round = [&](const char* lost_reason) {
         rounds_counter.add(1);
         if (lost_reason != nullptr && tracing) {
@@ -652,6 +691,10 @@ RunResult FederatedRunner::run_des(Method& method) {
         result.network.timed_out += round_stats.timed_out;
         result.network.bytes_retransmitted += round_stats.bytes_retransmitted;
         result.rounds.push_back(round_stats);
+        if (monitor != nullptr) {
+          monitor->on_round(result, round_stats, result.rounds.size(),
+                            sim_time, norm_acc);
+        }
       };
       if (plan.participants.empty()) {
         commit_round("no participants survived dropout/transport");
@@ -832,6 +875,11 @@ RunResult FederatedRunner::run_des(Method& method) {
                            .field("bytes_up", wire_bytes));
           }
           if (!delivered) continue;
+          if (monitor != nullptr) {
+            if (const auto norm = update_state_l2_norm(updates[i].payload)) {
+              norm_acc.add(*norm);
+            }
+          }
           if (sink) {
             const auto add_start = std::chrono::steady_clock::now();
             try {
@@ -858,6 +906,12 @@ RunResult FederatedRunner::run_des(Method& method) {
           } else {
             buffered.push_back(std::move(updates[i]));
           }
+        }
+        if (monitor != nullptr) {
+          // Long rounds over huge cohorts would otherwise leave the live
+          // view stale between round boundaries; sample on a wall-clock
+          // cadence while waves drain (no-op within the interval).
+          monitor->on_wave(sim_time, result.rounds.size());
         }
       }
       round_span.finish();
@@ -911,6 +965,10 @@ RunResult FederatedRunner::run_des(Method& method) {
     }
 
     evaluate_task(method, task, result);
+    if (monitor != nullptr) {
+      monitor->on_eval(static_cast<std::uint32_t>(task),
+                       result.tasks.back().cumulative_accuracy);
+    }
     if (config_.after_task) config_.after_task(method, task);
     REFFIL_LOG_INFO << spec.name << " / " << method.name() << ": task "
                     << (task + 1) << "/" << spec.domains.size() << " ("
@@ -971,6 +1029,12 @@ RunResult FederatedRunner::run_des(Method& method) {
     obs::flush_trace();
   }
   obs::prof::flush();
+  if (monitor != nullptr) {
+    monitor->timeseries().sample(
+        config_.des.round_interval_s * static_cast<double>(global_round),
+        result.rounds.size());
+    monitor->finalize(result);
+  }
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "reffil/data/generator.hpp"
 #include "reffil/data/spec.hpp"
 #include "reffil/fed/compress.hpp"
+#include "reffil/fed/health.hpp"
 #include "reffil/fed/method.hpp"
 #include "reffil/fed/scheduler.hpp"
 #include "reffil/fed/transport.hpp"
@@ -69,6 +70,12 @@ struct RunConfig {
   /// Optional data-source override; when null, data comes from the spec's
   /// synthetic domain generator (the paper's setting).
   std::shared_ptr<const TaskSource> source;
+  /// Live telemetry (fed/health.hpp): when set, the runner feeds per-round
+  /// time-series samples, health detectors, and the /progress board, and
+  /// copies the health log into the RunResult. Null (the default) keeps the
+  /// training path bitwise-identical — the only cost is a null check at
+  /// round cadence. Observation only: a monitor never alters a run.
+  std::shared_ptr<RunMonitor> monitor;
 };
 
 /// Evaluation after finishing one task.
@@ -130,6 +137,11 @@ struct RunResult {
   NetworkStats network;
   double wall_seconds = 0.0;
   std::vector<RoundStats> rounds;  ///< one entry per round, curriculum order
+  /// Health-detector firings, in firing order (empty for unmonitored runs —
+  /// and for healthy monitored ones). Cached with the run and surfaced by
+  /// reffil_run --json ("health" block) and reffil_report's alerts column.
+  std::vector<HealthEvent> health;
+  MonitorSummary monitor;  ///< enabled=false when the run was unmonitored
 
   /// iCaRL-style Average: mean of the per-step cumulative accuracies.
   double average_accuracy() const;

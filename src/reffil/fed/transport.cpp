@@ -7,6 +7,7 @@
 #include <cstring>
 #include <limits>
 
+#include "reffil/fed/fedavg.hpp"
 #include "reffil/util/byte_buffer.hpp"
 #include "reffil/util/error.hpp"
 
@@ -257,6 +258,26 @@ Transport::Delivery Transport::deliver(const std::vector<std::uint8_t>& framed,
   d.reason = "retry budget exhausted: every frame arrived corrupt";
   d.sim_seconds = now;
   return d;
+}
+
+std::optional<double> update_state_l2_norm(
+    const std::vector<std::uint8_t>& payload) {
+  try {
+    util::ByteReader reader(payload);
+    const ModelState state = deserialize_state(reader);
+    double sum_sq = 0.0;
+    for (const auto& t : state) {
+      for (const float v : t.data()) {
+        sum_sq += static_cast<double>(v) * static_cast<double>(v);
+      }
+    }
+    const double norm = std::sqrt(sum_sq);
+    if (!std::isfinite(norm)) return std::nullopt;
+    return norm;
+  } catch (const std::exception&) {
+    // Undecodable / compressed-delta payloads carry no comparable state norm.
+    return std::nullopt;
+  }
 }
 
 const char* to_string(Transport::Outcome outcome) {

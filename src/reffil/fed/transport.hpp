@@ -158,4 +158,15 @@ class Transport {
 
 const char* to_string(Transport::Outcome outcome);
 
+/// L2 norm of the ModelState serialized in `payload`, for the health
+/// monitor's update-norm drift detector (fed/health.hpp). Returns nullopt
+/// when no plain uncompressed state leads the payload — undecodable bytes, a
+/// compressed delta frame (whose magnitude is not comparable to a full
+/// state) — or when the norm is non-finite (that feeds quarantine, not drift
+/// statistics). Method payloads carrying extras after the state contribute
+/// the norm of the leading state. Purely observational: never throws, never
+/// mutates.
+std::optional<double> update_state_l2_norm(
+    const std::vector<std::uint8_t>& payload);
+
 }  // namespace reffil::fed

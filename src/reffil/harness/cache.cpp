@@ -95,6 +95,24 @@ void serialize_run_result(const fed::RunResult& result, util::ByteWriter& writer
     writer.write_u32(round.timed_out);
     writer.write_u64(round.bytes_retransmitted);
   }
+  // v4 stopped here: monitored runs replayed from cache lost their health
+  // log, so reffil_report's alerts column went blank on every cache hit.
+  writer.write_u64(result.health.size());
+  for (const auto& event : result.health) {
+    writer.write_u32(event.task);
+    writer.write_u32(event.round);
+    writer.write_u64(event.global_round);
+    writer.write_string(event.detector);
+    writer.write_f64(event.value);
+    writer.write_f64(event.threshold);
+    writer.write_string(event.detail);
+  }
+  writer.write_u32(result.monitor.enabled ? 1 : 0);
+  writer.write_u64(result.monitor.samples_taken);
+  writer.write_u64(result.monitor.samples_retained);
+  writer.write_u64(result.monitor.samples_capacity);
+  writer.write_u64(result.monitor.alerts);
+  writer.write_u32(result.monitor.healthy_at_end ? 1 : 0);
 }
 
 fed::RunResult deserialize_run_result(util::ByteReader& reader) {
@@ -159,6 +177,28 @@ fed::RunResult deserialize_run_result(util::ByteReader& reader) {
     round.bytes_retransmitted = reader.read_u64();
     result.rounds.push_back(round);
   }
+  const auto num_health = reader.read_u64();
+  if (num_health > 1000000) {
+    throw SerializationError("implausible health-event count");
+  }
+  result.health.reserve(num_health);
+  for (std::uint64_t h = 0; h < num_health; ++h) {
+    fed::HealthEvent event;
+    event.task = reader.read_u32();
+    event.round = reader.read_u32();
+    event.global_round = reader.read_u64();
+    event.detector = reader.read_string();
+    event.value = reader.read_f64();
+    event.threshold = reader.read_f64();
+    event.detail = reader.read_string();
+    result.health.push_back(std::move(event));
+  }
+  result.monitor.enabled = reader.read_u32() != 0;
+  result.monitor.samples_taken = reader.read_u64();
+  result.monitor.samples_retained = reader.read_u64();
+  result.monitor.samples_capacity = reader.read_u64();
+  result.monitor.alerts = reader.read_u64();
+  result.monitor.healthy_at_end = reader.read_u32() != 0;
   return result;
 }
 

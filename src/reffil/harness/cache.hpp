@@ -32,7 +32,7 @@ bool cache_enabled();
 /// v4 added the compression string and the raw-equivalent byte counters
 /// (bytes_down_raw_equiv/bytes_up_raw_equiv).
 inline constexpr std::uint32_t kCacheMagic = 0x4C464652u;  // "RFFL"
-inline constexpr std::uint32_t kCacheVersion = 4;
+inline constexpr std::uint32_t kCacheVersion = 5;
 
 /// Stable key for one experiment cell. `fault_tag` is the canonical
 /// FaultProfile::tag() of the run, with DesConfig::tag() appended when the

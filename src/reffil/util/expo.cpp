@@ -1,0 +1,286 @@
+#include "reffil/util/expo.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "reffil/util/error.hpp"
+
+namespace reffil::obs::expo {
+
+// ---- OpenMetrics rendering -------------------------------------------------
+
+std::string exposition_name(std::string_view registry_name) {
+  std::string out = "reffil_";
+  for (char c : registry_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Render a double the way the exposition format expects: plain decimal,
+/// no exponent surprises for integers, NaN/Inf spelled out.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void append_labels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_header(std::string& out, const std::string& name,
+                   const std::string& help, const std::string& type) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string render_openmetrics(const Registry::Snapshot& snap,
+                               const std::vector<ExtraMetric>& extras) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string expo = exposition_name(name) + "_total";
+    append_header(out, expo, "counter " + name, "counter");
+    out += expo + " " + format_value(static_cast<double>(value)) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string expo = exposition_name(name);
+    append_header(out, expo, "gauge " + name, "gauge");
+    out += expo + " " + format_value(value) + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string expo = exposition_name(name);
+    append_header(out, expo, "histogram " + name, "summary");
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out += expo + "{quantile=\"" + format_value(q) + "\"} " +
+             format_value(hist.quantile(q)) + "\n";
+    }
+    out += expo + "_sum " + format_value(hist.stats.sum) + "\n";
+    out += expo + "_count " +
+           format_value(static_cast<double>(hist.stats.count)) + "\n";
+  }
+  for (const auto& extra : extras) {
+    const bool counter = extra.type == "counter";
+    const std::string expo = extra.name + (counter ? "_total" : "");
+    append_header(out, expo, extra.help, extra.type);
+    out += expo;
+    append_labels(out, extra.labels);
+    out += " " + format_value(extra.value) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+// ---- server ----------------------------------------------------------------
+
+MetricsServer::MetricsServer(Options options, MetricsFn metrics,
+                             ProgressFn progress, HealthFn health)
+    : options_(options),
+      metrics_(std::move(metrics)),
+      progress_(std::move(progress)),
+      health_(std::move(health)) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::start() {
+  if (running()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("metrics server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapers only
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("metrics server: cannot listen on 127.0.0.1:" +
+                std::to_string(options_.port) + " (" + std::strerror(err) +
+                ")");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);  // bounded wait so stop() joins
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+/// Write the full buffer with a poll() deadline per chunk; best effort — a
+/// client that stops reading is abandoned, never waited on indefinitely.
+void send_all(int fd, std::string_view data, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return;
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, int code, const char* status,
+                   const std::string& content_type, const std::string& body,
+                   int timeout_ms) {
+  std::string head = "HTTP/1.1 " + std::to_string(code) + " " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head + body, timeout_ms);
+}
+
+}  // namespace
+
+void MetricsServer::handle_connection(int fd) {
+  // Read until the end of the request head, the size cap, or the deadline.
+  // Only the request line is parsed; headers are read off and ignored.
+  std::string request;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.io_timeout_ms);
+  bool oversized = false;
+  while (request.find("\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return;  // slow/silent client: cut off
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) return;
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() > options_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (oversized) {
+    send_response(fd, 431, "Request Header Fields Too Large", "text/plain",
+                  "request too large\n", options_.io_timeout_ms);
+    return;
+  }
+  const std::size_t eol = request.find_first_of("\r\n");
+  const std::string line = request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_response(fd, 400, "Bad Request", "text/plain", "bad request\n",
+                  options_.io_timeout_ms);
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    send_response(fd, 405, "Method Not Allowed", "text/plain",
+                  "only GET is served\n", options_.io_timeout_ms);
+    return;
+  }
+  if (path == "/metrics") {
+    send_response(fd, 200, "OK", "text/plain; version=0.0.4", metrics_(),
+                  options_.io_timeout_ms);
+  } else if (path == "/healthz") {
+    const auto [healthy, reason] = health_();
+    if (healthy) {
+      send_response(fd, 200, "OK", "text/plain", "ok\n",
+                    options_.io_timeout_ms);
+    } else {
+      send_response(fd, 503, "Service Unavailable", "text/plain",
+                    "degraded: " + reason + "\n", options_.io_timeout_ms);
+    }
+  } else if (path == "/progress") {
+    send_response(fd, 200, "OK", "application/json", progress_(),
+                  options_.io_timeout_ms);
+  } else if (path == "/quitquitquit") {
+    shutdown_requested_.store(true, std::memory_order_release);
+    send_response(fd, 200, "OK", "text/plain", "bye\n",
+                  options_.io_timeout_ms);
+  } else {
+    send_response(fd, 404, "Not Found", "text/plain",
+                  "try /metrics /healthz /progress\n", options_.io_timeout_ms);
+  }
+}
+
+}  // namespace reffil::obs::expo

@@ -1,0 +1,128 @@
+// Embedded, dependency-free HTTP exposition server.
+//
+// A production federation is scraped, not tailed: Prometheus pulls /metrics,
+// load balancers poll /healthz, dashboards poll /progress. This server is the
+// smallest honest implementation of that contract — POSIX sockets, one
+// serving thread, loopback-bound, HTTP/1.1 with Connection: close — so a
+// live run can be observed with nothing but curl (or tools/reffil_monitor).
+//
+// Endpoints:
+//   GET /metrics       registry snapshot (+ caller-supplied extras) in the
+//                      Prometheus / OpenMetrics text format
+//   GET /healthz       200 "ok" while healthy, 503 "degraded: <reason>" when
+//                      a health detector has fired recently (fed/health.hpp)
+//   GET /progress      caller-supplied JSON (round counters, byte totals,
+//                      latency quantiles — see fed::ProgressSnapshot)
+//   GET /quitquitquit  sets the shutdown-requested latch (reffil_run's
+//                      metrics linger loop exits on it) and answers "bye"
+//
+// Threat model: the server speaks to *trusted local* scrapers but must not
+// be wedgeable by a misbehaving one. The request line is read with a poll()
+// deadline (a slow or silent client is cut off after io_timeout_ms), capped
+// at max_request_bytes (431 beyond that), and only GET is served (405
+// otherwise). Handling is serial by design — one slow client can delay, but
+// never deadlock, the next scrape; every connection is closed after one
+// response.
+//
+// Determinism contract: the server only *reads* shared state through the
+// three callbacks. Nothing here feeds back into the run — with the server
+// disabled no code in this file runs at all, and with it enabled the
+// training path is unchanged (the zero-cost guard of DESIGN.md §14).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "reffil/util/obs.hpp"
+
+namespace reffil::obs::expo {
+
+/// One non-registry sample to expose on /metrics (the runner's progress
+/// board contributes run-scoped series like reffil_run_bytes_up_total whose
+/// values reconcile exactly with the final RunResult).
+struct ExtraMetric {
+  std::string name;  ///< full exposition name (already mangled, no suffix)
+  std::string help;
+  std::string type;  ///< "counter" | "gauge"
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Registry name -> exposition name: "reffil_" prefix, every character
+/// outside [a-zA-Z0-9_:] becomes '_' (so "fed.bytes_up" -> "reffil_fed_bytes_up").
+std::string exposition_name(std::string_view registry_name);
+
+/// Escape a label value per the OpenMetrics text format: backslash, double
+/// quote and newline escaped, everything else passed through.
+std::string escape_label_value(std::string_view v);
+
+/// Render a registry snapshot plus extras as OpenMetrics text:
+/// counters get HELP/TYPE lines and a "_total" suffix, gauges render as-is,
+/// histograms render as summaries (_count, _sum, and p50/p95/p99 quantile
+/// series with a quantile label). Ends with "# EOF".
+std::string render_openmetrics(const Registry::Snapshot& snap,
+                               const std::vector<ExtraMetric>& extras);
+
+class MetricsServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;            ///< 0 = kernel-assigned ephemeral port
+    int io_timeout_ms = 2000;          ///< per-connection read/write budget
+    std::size_t max_request_bytes = 8192;
+  };
+  using MetricsFn = std::function<std::string()>;
+  using ProgressFn = std::function<std::string()>;
+  /// (healthy?, reason-when-degraded)
+  using HealthFn = std::function<std::pair<bool, std::string>()>;
+
+  MetricsServer(Options options, MetricsFn metrics, ProgressFn progress,
+                HealthFn health);
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Bind 127.0.0.1:<port>, start the serving thread. Throws Error when the
+  /// port cannot be bound.
+  void start();
+
+  /// Stop serving and join the thread (idempotent).
+  void stop();
+
+  /// The actually-bound port (resolves 0 -> ephemeral after start()).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once a client has requested /quitquitquit.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Options options_;
+  MetricsFn metrics_;
+  ProgressFn progress_;
+  HealthFn health_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace reffil::obs::expo

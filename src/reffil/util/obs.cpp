@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 
 #include "reffil/util/prof.hpp"
@@ -89,7 +91,11 @@ HistogramSnapshot Histogram::snapshot() const {
 
 double HistogramSnapshot::quantile(double q) const {
   if (stats.count == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // The extreme quantiles are exact: min and max are tracked directly, so
+  // q<=0 / q>=1 need no bucket walk (and NaN thresholds fall through to the
+  // interpolation path, where clamp() keeps the result in [min, max]).
+  if (q <= 0.0) return stats.min;
+  if (q >= 1.0) return stats.max;
   // 0-based fractional rank of the target sample in sorted order.
   const double rank = q * static_cast<double>(stats.count - 1);
   std::uint64_t seen = 0;
@@ -276,6 +282,7 @@ void init_trace_from_env() {
   std::lock_guard lock(sink.mutex);
   sink.stream.open(path, std::ios::trunc);
   g_trace_enabled.store(sink.stream.is_open(), std::memory_order_relaxed);
+  if (sink.stream.is_open()) install_crash_flush_handlers();
 }
 
 }  // namespace
@@ -315,6 +322,48 @@ void json_escape(std::string& out, std::string_view s) {
 void flush_all() {
   flush_trace();
   prof::flush();
+}
+
+namespace {
+
+std::atomic<bool> g_crash_handlers_installed{false};
+std::terminate_handler g_previous_terminate = nullptr;
+
+/// Best-effort flush for async-signal context: try-lock only, no allocation,
+/// no profiler (its flush takes mutexes the interrupted thread may hold).
+/// Flushing an ofstream here is formally outside the async-signal-safe set,
+/// but the alternative is losing the tail of every killed run's trace; the
+/// try_lock guarantees we at least never deadlock the dying process.
+void signal_flush(int signo) {
+  TraceSink& sink = trace_sink();
+  if (sink.mutex.try_lock()) {
+    if (sink.stream.is_open()) sink.stream.flush();
+    sink.mutex.unlock();
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void install_crash_flush_handlers() {
+  bool expected = false;
+  if (!g_crash_handlers_installed.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  g_previous_terminate = std::set_terminate([] {
+    flush_all();  // terminate runs on the throwing thread: full flush is safe
+    if (g_previous_terminate != nullptr) {
+      g_previous_terminate();
+    }
+    std::abort();
+  });
+  // Leave externally-ignored signals ignored (nohup et al.); otherwise hook.
+  for (const int signo : {SIGINT, SIGTERM}) {
+    if (std::signal(signo, signal_flush) == SIG_IGN) {
+      std::signal(signo, SIG_IGN);
+    }
+  }
 }
 
 TraceEvent::TraceEvent(std::string_view type) {
@@ -373,6 +422,7 @@ void set_trace_path(const std::string& path) {
   sink.stream.clear();
   sink.stream.open(path, std::ios::trunc);
   g_trace_enabled.store(sink.stream.is_open(), std::memory_order_relaxed);
+  if (sink.stream.is_open()) install_crash_flush_handlers();
 }
 
 void trace(const TraceEvent& event) {

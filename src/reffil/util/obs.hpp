@@ -67,6 +67,17 @@ struct HistogramStats {
 /// rank and interpolates linearly inside the bucket it lands in, clamped to
 /// the exact observed [min, max]. Error is bounded by the bucket width
 /// (a factor of 2), which is plenty for p50/p95/p99 timing tables.
+///
+/// Interpolation contract, including the edges:
+///   * count == 0     -> 0.0 for every q (no samples, no estimate);
+///   * q <= 0.0       -> stats.min exactly (no bucket interpolation);
+///   * q >= 1.0       -> stats.max exactly;
+///   * 0 < q < 1      -> the 0-based fractional rank q*(count-1) is located
+///     in the bucket walk; within a bucket holding n samples the estimate
+///     interpolates linearly by rank over the bucket's [lo, hi) span —
+///     a single-sample bucket (n == 1) uses the bucket midpoint — and the
+///     result is clamped to [stats.min, stats.max], which also repairs the
+///     zero/non-finite catch-all bucket whose nominal span is meaningless.
 struct HistogramSnapshot {
   static constexpr int kBuckets = 64;
   HistogramStats stats;
@@ -212,6 +223,17 @@ void flush_trace();
 /// std::atexit at sink init and called from tool error paths, so traces
 /// survive early exits and thrown exceptions.
 void flush_all();
+
+/// Install crash-safe flush handlers (idempotent; installed automatically
+/// when a trace sink opens):
+///   * std::set_terminate -> flush_all(), then the previous handler;
+///   * SIGINT / SIGTERM   -> best-effort trace flush (try-lock only — the
+///     profiler's locking flush is skipped because the signal may have
+///     interrupted a thread holding its mutex), then the signal is re-raised
+///     with the default disposition so the exit status still reports it.
+/// A run killed mid-round therefore leaves a parseable JSONL trace of every
+/// event recorded before the kill.
+void install_crash_flush_handlers();
 
 /// Append `s` to `out` with strict JSON string escaping: quotes/backslash,
 /// control characters as \uXXXX, valid UTF-8 passed through, and invalid

@@ -1,0 +1,98 @@
+#include "reffil/util/timeseries.hpp"
+
+#include <algorithm>
+
+namespace reffil::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void TimeSeries::sample(double sim_time_s, std::uint64_t round) {
+  sample_snapshot(sim_time_s, round, Registry::instance().snapshot());
+}
+
+void TimeSeries::sample_snapshot(double sim_time_s, std::uint64_t round,
+                                 const Registry::Snapshot& snap) {
+  TimePoint point;
+  point.sim_time_s = sim_time_s;
+  point.round = round;
+  for (const auto& [name, value] : snap.counters) {
+    point.values[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : snap.gauges) point.values[name] = value;
+  for (const auto& [name, hist] : snap.histograms) {
+    point.values[name + ".count"] = static_cast<double>(hist.stats.count);
+    point.values[name + ".sum"] = hist.stats.sum;
+  }
+
+  std::lock_guard lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  point.wall_s = std::chrono::duration<double>(now - epoch_).count();
+  // Counters and histogram count/sum series are monotonic within a run;
+  // gauges are not, so only the former get deltas. A series seen for the
+  // first time deltas from 0; one that shrank (a Registry::reset() between
+  // samples) restarts its baseline rather than reporting a negative rate.
+  for (const auto& [name, value] : point.values) {
+    const bool monotonic =
+        snap.counters.count(name) != 0 || name.ends_with(".count") ||
+        name.ends_with(".sum");
+    if (!monotonic || snap.gauges.count(name) != 0) continue;
+    const auto it = prev_monotonic_.find(name);
+    const double prev = it == prev_monotonic_.end() ? 0.0 : it->second;
+    point.deltas[name] = value >= prev ? value - prev : value;
+    prev_monotonic_[name] = value;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(point));
+  } else {
+    ring_[taken_ % capacity_] = std::move(point);
+  }
+  ++taken_;
+  last_sample_ = now;
+  has_sample_ = true;
+}
+
+bool TimeSeries::maybe_sample(double interval_s, double sim_time_s,
+                              std::uint64_t round) {
+  if (interval_s <= 0.0) return false;
+  {
+    std::lock_guard lock(mutex_);
+    if (has_sample_) {
+      const double since = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - last_sample_)
+                               .count();
+      if (since < interval_s) return false;
+    }
+  }
+  sample(sim_time_s, round);
+  return true;
+}
+
+std::vector<TimePoint> TimeSeries::tail(std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  const std::size_t retained = ring_.size();
+  const std::size_t count = std::min(n, retained);
+  std::vector<TimePoint> out;
+  out.reserve(count);
+  // Oldest retained row is taken_ - retained; walk forward to the newest.
+  for (std::size_t i = retained - count; i < retained; ++i) {
+    const std::uint64_t index = taken_ - retained + i;
+    out.push_back(ring_[index % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+TimeSeries::Summary TimeSeries::summary() const {
+  std::lock_guard lock(mutex_);
+  return {taken_, ring_.size(), capacity_};
+}
+
+}  // namespace reffil::obs

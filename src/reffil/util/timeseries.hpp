@@ -1,0 +1,87 @@
+// Live time-series view of the metrics Registry (util/obs.hpp §7).
+//
+// The registry answers "what are the totals right now"; this store answers
+// "how did they move over the run". A TimeSeries snapshots the registry at
+// round boundaries (and, for long discrete-event waves, on a wall-clock
+// cadence) into a bounded ring of TimePoint rows. Each row carries the
+// flattened metric values *and* the per-sample deltas of every monotonic
+// series (counters, histogram counts/sums), so rates — bytes/round,
+// quarantines/round, rounds/second — are first-class instead of something a
+// consumer must difference by hand.
+//
+// Bounds: the ring holds `capacity` rows; older rows are overwritten
+// (recent history wins, same policy as the profiler rings) and the
+// taken/retained counts are reported in summary() so truncation is never
+// silent. Sampling takes the registry mutex once per snapshot plus this
+// store's own mutex — nothing here sits on a training hot path; the federated
+// runner samples at round cadence only when a RunMonitor is armed.
+//
+// Thread safety: sample() and the read side (tail/summary) may race freely;
+// every row is copied out under the store mutex. The embedded exposition
+// server (util/expo.hpp) is the main concurrent reader.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "reffil/util/obs.hpp"
+
+namespace reffil::obs {
+
+/// One snapshot row. `values` holds counters and gauges under their registry
+/// names and histograms flattened as "<name>.count" / "<name>.sum"; `deltas`
+/// holds the increment of every monotonic series since the previous sample
+/// (equal to `values` on the first sample).
+struct TimePoint {
+  double sim_time_s = 0.0;   ///< virtual clock at the sample (0 outside DES)
+  double wall_s = 0.0;       ///< wall seconds since the store was created
+  std::uint64_t round = 0;   ///< global round index at the sample
+  std::map<std::string, double> values;
+  std::map<std::string, double> deltas;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 512);
+
+  /// Snapshot Registry::instance() into a new row.
+  void sample(double sim_time_s, std::uint64_t round);
+
+  /// Snapshot an explicit registry snapshot (tests inject synthetic ones).
+  void sample_snapshot(double sim_time_s, std::uint64_t round,
+                       const Registry::Snapshot& snap);
+
+  /// Wall-clock cadence helper for long waves: samples (and returns true)
+  /// only when at least `interval_s` wall seconds have passed since the last
+  /// sample. A non-positive interval never samples.
+  bool maybe_sample(double interval_s, double sim_time_s, std::uint64_t round);
+
+  /// The most recent min(n, size()) rows, oldest first.
+  std::vector<TimePoint> tail(std::size_t n) const;
+
+  /// Rows currently retained (<= capacity).
+  std::size_t size() const;
+
+  struct Summary {
+    std::uint64_t taken = 0;     ///< samples ever recorded
+    std::uint64_t retained = 0;  ///< of which still in the ring
+    std::uint64_t capacity = 0;
+  };
+  Summary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TimePoint> ring_;  ///< ring_[taken_ % capacity_] is next slot
+  std::size_t capacity_;
+  std::uint64_t taken_ = 0;
+  std::map<std::string, double> prev_monotonic_;  ///< last counter values
+  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point last_sample_;
+  bool has_sample_ = false;
+};
+
+}  // namespace reffil::obs

@@ -1,0 +1,245 @@
+// Exposition tests (util/expo.hpp): OpenMetrics text conformance against a
+// golden render (name mangling, `_total` counters, HELP/TYPE lines, label
+// escaping, the `# EOF` terminator) and the embedded HTTP server under both
+// well-formed and hostile traffic — oversized request lines, non-GET
+// methods, garbage requests, and slow clients that must be cut off without
+// wedging the next scrape.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "reffil/util/expo.hpp"
+
+using namespace reffil;
+using obs::expo::ExtraMetric;
+using obs::expo::MetricsServer;
+
+namespace {
+
+/// Raw loopback exchange: connect, send `request` verbatim, read until the
+/// server closes. Returns the full response (status line + headers + body).
+std::string http_exchange(std::uint16_t port, const std::string& request,
+                     int timeout_ms = 5000) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  if (!request.empty()) {
+    (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  }
+  std::string response;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) break;
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+}  // namespace
+
+TEST(Expo, ExpositionNameManglesOutsideTheAllowedSet) {
+  EXPECT_EQ(obs::expo::exposition_name("fed.bytes_up"), "reffil_fed_bytes_up");
+  EXPECT_EQ(obs::expo::exposition_name("weird-name/42"),
+            "reffil_weird_name_42");
+  EXPECT_EQ(obs::expo::exposition_name("ns:ok_123"), "reffil_ns:ok_123");
+  EXPECT_EQ(obs::expo::exposition_name(""), "reffil_");
+}
+
+TEST(Expo, LabelValueEscaping) {
+  EXPECT_EQ(obs::expo::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::expo::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::expo::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::expo::escape_label_value("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Expo, GoldenOpenMetricsRender) {
+  obs::Registry::Snapshot snap;
+  snap.counters["fed.bytes_up"] = 1234;
+  snap.gauges["run.task"] = 2.0;
+  // One observation: min == max == 2, so every quantile clamps to exactly 2
+  // and the whole render is deterministic.
+  obs::Histogram hist;
+  hist.observe(2.0);
+  snap.histograms["round.train_seconds"] = hist.snapshot();
+
+  std::vector<ExtraMetric> extras;
+  extras.push_back({"reffil_run_info",
+                    "run identity",
+                    "gauge",
+                    {{"method", "Ref\"FiL\\v1"}, {"note", "line\nbreak"}},
+                    1.0});
+  extras.push_back({"reffil_run_rounds", "rounds committed", "counter", {},
+                    7.0});
+
+  const std::string expected =
+      "# HELP reffil_fed_bytes_up_total counter fed.bytes_up\n"
+      "# TYPE reffil_fed_bytes_up_total counter\n"
+      "reffil_fed_bytes_up_total 1234\n"
+      "# HELP reffil_run_task gauge run.task\n"
+      "# TYPE reffil_run_task gauge\n"
+      "reffil_run_task 2\n"
+      "# HELP reffil_round_train_seconds histogram round.train_seconds\n"
+      "# TYPE reffil_round_train_seconds summary\n"
+      "reffil_round_train_seconds{quantile=\"0.5\"} 2\n"
+      "reffil_round_train_seconds{quantile=\"0.95\"} 2\n"
+      "reffil_round_train_seconds{quantile=\"0.99\"} 2\n"
+      "reffil_round_train_seconds_sum 2\n"
+      "reffil_round_train_seconds_count 1\n"
+      "# HELP reffil_run_info run identity\n"
+      "# TYPE reffil_run_info gauge\n"
+      "reffil_run_info{method=\"Ref\\\"FiL\\\\v1\",note=\"line\\nbreak\"} 1\n"
+      "# HELP reffil_run_rounds_total rounds committed\n"
+      "# TYPE reffil_run_rounds_total counter\n"
+      "reffil_run_rounds_total 7\n"
+      "# EOF\n";
+  EXPECT_EQ(obs::expo::render_openmetrics(snap, extras), expected);
+}
+
+TEST(Expo, EmptySnapshotStillTerminates) {
+  EXPECT_EQ(obs::expo::render_openmetrics({}, {}), "# EOF\n");
+}
+
+TEST(ExpoServer, ServesAllRoutesAndFlipsHealth) {
+  std::atomic<bool> degraded{false};
+  MetricsServer server(
+      {.port = 0},
+      [] { return std::string("# EOF\n"); },
+      [] { return std::string("{\"rounds_done\":3}"); },
+      [&]() -> std::pair<bool, std::string> {
+        return degraded.load() ? std::make_pair(false, std::string("norm_z"))
+                               : std::make_pair(true, std::string());
+      });
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  std::string response = get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_EQ(body_of(response), "# EOF\n");
+
+  response = get(server.port(), "/progress");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_EQ(body_of(response), "{\"rounds_done\":3}");
+
+  response = get(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+  degraded.store(true);
+  response = get(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_EQ(body_of(response), "degraded: norm_z\n");
+
+  // Query strings are stripped before routing.
+  response = get(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+
+  EXPECT_NE(get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_GE(server.requests_served(), 6u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ExpoServer, QuitquitquitLatchesShutdown) {
+  MetricsServer server(
+      {.port = 0}, [] { return std::string("# EOF\n"); },
+      [] { return std::string("{}"); },
+      [] { return std::make_pair(true, std::string()); });
+  server.start();
+  EXPECT_FALSE(server.shutdown_requested());
+  const std::string response = get(server.port(), "/quitquitquit");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(body_of(response), "bye\n");
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+TEST(ExpoServer, HostileRequestsGetBoundedErrors) {
+  MetricsServer server(
+      {.port = 0, .io_timeout_ms = 300, .max_request_bytes = 256},
+      [] { return std::string("# EOF\n"); }, [] { return std::string("{}"); },
+      [] { return std::make_pair(true, std::string()); });
+  server.start();
+
+  // Oversized request line: more bytes than the cap before any newline.
+  const std::string huge = "GET /" + std::string(1024, 'A') + " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(http_exchange(server.port(), huge).find("HTTP/1.1 431"),
+            std::string::npos);
+
+  // Non-GET method is refused.
+  EXPECT_NE(http_exchange(server.port(),
+                     "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+
+  // Garbage request line (no two-space structure).
+  EXPECT_NE(http_exchange(server.port(), "GARBAGE\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // A slow client that never sends a request line is cut off after the IO
+  // deadline with no response at all...
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string silence = http_exchange(server.port(), "", 5000);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(silence.empty());
+  EXPECT_LT(waited, 4.0);  // the server hung up, not our own client timeout
+  // ...and the server still answers the next well-formed scrape.
+  EXPECT_NE(get(server.port(), "/metrics").find("HTTP/1.1 200"),
+            std::string::npos);
+
+  server.stop();
+}
+
+TEST(ExpoServer, EphemeralPortsAllowTwoServers) {
+  auto metrics = [] { return std::string("# EOF\n"); };
+  auto progress = [] { return std::string("{}"); };
+  auto health = [] { return std::make_pair(true, std::string()); };
+  MetricsServer a({.port = 0}, metrics, progress, health);
+  MetricsServer b({.port = 0}, metrics, progress, health);
+  a.start();
+  b.start();
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(get(a.port(), "/metrics").find("200"), std::string::npos);
+  EXPECT_NE(get(b.port(), "/metrics").find("200"), std::string::npos);
+  b.stop();
+  a.stop();
+}

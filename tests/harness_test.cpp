@@ -109,6 +109,21 @@ fed::RunResult sample_result() {
     round.bytes_retransmitted = 40 + r;
     result.rounds.push_back(round);
   }
+  fed::HealthEvent event;
+  event.task = 1;
+  event.round = 2;
+  event.global_round = 5;
+  event.detector = "quarantine_rate";
+  event.value = 0.4;
+  event.threshold = 0.25;
+  event.detail = "4/10 updates quarantined in round 2";
+  result.health.push_back(event);
+  result.monitor.enabled = true;
+  result.monitor.samples_taken = 9;
+  result.monitor.samples_retained = 8;
+  result.monitor.samples_capacity = 8;
+  result.monitor.alerts = 1;
+  result.monitor.healthy_at_end = false;
   return result;
 }
 
@@ -179,6 +194,21 @@ TEST(RunResultSerialization, RoundTripPreservesEveryField) {
     EXPECT_EQ(back.rounds[r].bytes_retransmitted,
               original.rounds[r].bytes_retransmitted);
   }
+  // v5: the health log and monitor accounting survive the cache.
+  ASSERT_EQ(back.health.size(), original.health.size());
+  EXPECT_EQ(back.health[0].task, original.health[0].task);
+  EXPECT_EQ(back.health[0].round, original.health[0].round);
+  EXPECT_EQ(back.health[0].global_round, original.health[0].global_round);
+  EXPECT_EQ(back.health[0].detector, original.health[0].detector);
+  EXPECT_DOUBLE_EQ(back.health[0].value, original.health[0].value);
+  EXPECT_DOUBLE_EQ(back.health[0].threshold, original.health[0].threshold);
+  EXPECT_EQ(back.health[0].detail, original.health[0].detail);
+  EXPECT_EQ(back.monitor.enabled, original.monitor.enabled);
+  EXPECT_EQ(back.monitor.samples_taken, original.monitor.samples_taken);
+  EXPECT_EQ(back.monitor.samples_retained, original.monitor.samples_retained);
+  EXPECT_EQ(back.monitor.samples_capacity, original.monitor.samples_capacity);
+  EXPECT_EQ(back.monitor.alerts, original.monitor.alerts);
+  EXPECT_EQ(back.monitor.healthy_at_end, original.monitor.healthy_at_end);
 }
 
 TEST(RunResultSerialization, LegacyV1FormatLosesDropoutsAndIsRejected) {

@@ -1,0 +1,315 @@
+// Health-monitor tests (fed/health.hpp): MonitorConfig spec parsing, each
+// detector's firing and non-firing sides, /healthz recovery after clean
+// rounds, the /progress JSON render, and the two end-to-end contracts the
+// design leans on — a monitored run reports its accounting on the
+// RunResult, and arming a monitor leaves the run bitwise-identical to an
+// unmonitored one.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "reffil/fed/health.hpp"
+#include "reffil/fed/runtime.hpp"
+#include "reffil/harness/experiment.hpp"
+#include "reffil/util/error.hpp"
+#include "reffil/util/json.hpp"
+
+using namespace reffil;
+
+namespace {
+
+/// All detectors off; tests turn on exactly the one under test.
+fed::MonitorConfig quiet() {
+  fed::MonitorConfig config;
+  config.norm_z = 0.0;
+  config.quarantine_rate = 0.0;
+  config.latency_slo_s = 0.0;
+  config.accuracy_drop = 0.0;
+  return config;
+}
+
+fed::RoundObservation round_obs(std::uint64_t global_round) {
+  fed::RoundObservation o;
+  o.round = static_cast<std::uint32_t>(global_round - 1);
+  o.global_round = global_round;
+  o.selected = 10;
+  o.accepted = 10;
+  return o;
+}
+
+data::DatasetSpec one_domain_spec() {
+  data::DatasetSpec spec;
+  spec.name = "HealthEdge";
+  spec.num_classes = 3;
+  spec.seed = 70;
+  data::DomainSpec d;
+  d.train_samples = 36;
+  d.test_samples = 15;
+  d.noise = 0.1f;
+  d.name = "Only";
+  spec.domains.push_back(d);
+  spec.initial_clients = 4;
+  spec.clients_per_round = 2;
+  spec.client_increment = 0;
+  spec.rounds_per_task = 2;
+  spec.local_epochs = 1;
+  spec.learning_rate = 0.03f;
+  return spec;
+}
+
+}  // namespace
+
+TEST(MonitorConfig, ParseEmptySpecYieldsDefaults) {
+  const auto config = fed::MonitorConfig::parse("");
+  EXPECT_EQ(config.timeseries_capacity, 512u);
+  EXPECT_DOUBLE_EQ(config.norm_z, 4.0);
+  EXPECT_DOUBLE_EQ(config.quarantine_rate, 0.25);
+  EXPECT_DOUBLE_EQ(config.latency_slo_s, 0.0);
+  EXPECT_EQ(config.recovery_rounds, 5u);
+}
+
+TEST(MonitorConfig, ParseSetsEveryKnob) {
+  const auto config = fed::MonitorConfig::parse(
+      "capacity=64,interval=1.5,norm_z=3,norm_window=4,quarantine_rate=0.1,"
+      "latency_slo=2.5,slo_burn=0.25,slo_window=5,accuracy_drop=1,"
+      "recovery_rounds=2");
+  EXPECT_EQ(config.timeseries_capacity, 64u);
+  EXPECT_DOUBLE_EQ(config.wallclock_interval_s, 1.5);
+  EXPECT_DOUBLE_EQ(config.norm_z, 3.0);
+  EXPECT_EQ(config.norm_window, 4u);
+  EXPECT_DOUBLE_EQ(config.quarantine_rate, 0.1);
+  EXPECT_DOUBLE_EQ(config.latency_slo_s, 2.5);
+  EXPECT_DOUBLE_EQ(config.slo_burn, 0.25);
+  EXPECT_EQ(config.slo_window, 5u);
+  EXPECT_DOUBLE_EQ(config.accuracy_drop, 1.0);
+  EXPECT_EQ(config.recovery_rounds, 2u);
+}
+
+TEST(MonitorConfig, ParseRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(fed::MonitorConfig::parse("nope=1"), ConfigError);
+  EXPECT_THROW(fed::MonitorConfig::parse("norm_z=abc"), ConfigError);
+  EXPECT_THROW(fed::MonitorConfig::parse("norm_z"), ConfigError);
+  EXPECT_THROW(fed::MonitorConfig::parse("norm_window=-1"), ConfigError);
+  // Trailing/empty items are tolerated.
+  EXPECT_NO_THROW(fed::MonitorConfig::parse("norm_z=3,"));
+}
+
+TEST(HealthMonitor, QuarantineRateFiresOnSpike) {
+  auto config = quiet();
+  config.quarantine_rate = 0.25;
+  fed::HealthMonitor monitor(config);
+
+  auto o = round_obs(1);
+  o.quarantined = 2;  // 0.2 <= 0.25: clean
+  EXPECT_TRUE(monitor.observe_round(o).empty());
+  EXPECT_TRUE(monitor.healthy());
+
+  o = round_obs(2);
+  o.quarantined = 3;  // 0.3 > 0.25: fires
+  const auto fired = monitor.observe_round(o);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].detector, "quarantine_rate");
+  EXPECT_NEAR(fired[0].value, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(fired[0].threshold, 0.25);
+  EXPECT_EQ(fired[0].global_round, 2u);
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_NE(monitor.reason().find("quarantine_rate"), std::string::npos);
+  ASSERT_EQ(monitor.events().size(), 1u);
+}
+
+TEST(HealthMonitor, NormZNeedsBaselineThenFlagsDrift) {
+  auto config = quiet();
+  config.norm_z = 3.0;
+  config.norm_window = 8;
+  fed::HealthMonitor monitor(config);
+
+  // Build a three-round baseline around 1.0; none of these can fire (the
+  // detector is silent until the baseline exists).
+  int round = 1;
+  for (const double mean : {1.0, 1.02, 0.98}) {
+    auto o = round_obs(static_cast<std::uint64_t>(round++));
+    o.norm_count = 5;
+    o.norm_mean = mean;
+    EXPECT_TRUE(monitor.observe_round(o).empty());
+  }
+  // In-family round: no fire.
+  auto o = round_obs(4);
+  o.norm_count = 5;
+  o.norm_mean = 1.01;
+  EXPECT_TRUE(monitor.observe_round(o).empty());
+  // A hostile cohort: the mean norm jumps far outside the baseline spread.
+  o = round_obs(5);
+  o.norm_count = 5;
+  o.norm_mean = 50.0;
+  const auto fired = monitor.observe_round(o);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].detector, "norm_z");
+  EXPECT_GT(fired[0].value, 3.0);
+  // Rounds with no accepted updates contribute nothing (no norm to judge).
+  o = round_obs(6);
+  o.norm_count = 0;
+  o.norm_mean = 0.0;
+  EXPECT_TRUE(monitor.observe_round(o).empty());
+}
+
+TEST(HealthMonitor, LatencySloFiresOnBurnRateNotOneOutlier) {
+  auto config = quiet();
+  config.latency_slo_s = 1.0;
+  config.slo_burn = 0.5;
+  config.slo_window = 4;
+  fed::HealthMonitor monitor(config);
+
+  // One slow round in a fresh window cannot page: the window needs at least
+  // three samples.
+  auto o = round_obs(1);
+  o.round_seconds = 5.0;
+  EXPECT_TRUE(monitor.observe_round(o).empty());
+  o = round_obs(2);
+  o.round_seconds = 0.1;
+  EXPECT_TRUE(monitor.observe_round(o).empty());
+  // Third sample: 2/3 over SLO > 0.5 burn -> fires.
+  o = round_obs(3);
+  o.round_seconds = 2.0;
+  const auto fired = monitor.observe_round(o);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].detector, "latency_slo");
+  EXPECT_NEAR(fired[0].value, 2.0 / 3.0, 1e-12);
+}
+
+TEST(HealthMonitor, AccuracyDropComparesAgainstTrailingMean) {
+  auto config = quiet();
+  config.accuracy_drop = 2.0;
+  fed::HealthMonitor monitor(config);
+
+  EXPECT_TRUE(monitor.observe_eval(0, 80.0, 2).empty());   // no baseline yet
+  EXPECT_TRUE(monitor.observe_eval(1, 79.5, 4).empty());   // within 2 points
+  const auto fired = monitor.observe_eval(2, 70.0, 6);     // mean 79.75
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].detector, "accuracy_drop");
+  EXPECT_EQ(fired[0].task, 2u);
+  EXPECT_EQ(fired[0].global_round, 6u);
+  EXPECT_NEAR(fired[0].value, 9.75, 1e-9);
+}
+
+TEST(HealthMonitor, RecoversAfterCleanRounds) {
+  auto config = quiet();
+  config.quarantine_rate = 0.25;
+  config.recovery_rounds = 2;
+  fed::HealthMonitor monitor(config);
+
+  auto o = round_obs(1);
+  o.quarantined = 9;
+  ASSERT_EQ(monitor.observe_round(o).size(), 1u);
+  EXPECT_FALSE(monitor.healthy());
+
+  // One clean round is not enough...
+  EXPECT_TRUE(monitor.observe_round(round_obs(2)).empty());
+  EXPECT_FALSE(monitor.healthy());
+  // ...two are.
+  EXPECT_TRUE(monitor.observe_round(round_obs(3)).empty());
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_TRUE(monitor.reason().empty());
+  // The event log keeps the history even after recovery.
+  EXPECT_EQ(monitor.events().size(), 1u);
+}
+
+TEST(Progress, RenderJsonParsesAndRoundTrips) {
+  fed::ProgressSnapshot snap;
+  snap.method = "Ref\"FiL";
+  snap.dataset = "PACS";
+  snap.rounds_done = 7;
+  snap.rounds_total = 40;
+  snap.bytes_up = 12345;
+  snap.task_accuracy = {81.25, 79.5};
+  snap.healthy = false;
+  snap.health_reason = "norm_z: drift";
+  fed::HealthEvent alert;
+  alert.detector = "norm_z";
+  alert.global_round = 6;
+  alert.detail = "mean update norm 50 vs baseline 1";
+  snap.alerts.push_back(alert);
+
+  const auto parsed = util::json::parse(snap.render_json());
+  EXPECT_EQ(parsed.string_or("method", ""), "Ref\"FiL");
+  EXPECT_EQ(parsed.string_or("dataset", ""), "PACS");
+  EXPECT_DOUBLE_EQ(parsed.number_or("rounds_done", 0), 7.0);
+  EXPECT_DOUBLE_EQ(parsed.number_or("bytes_up", 0), 12345.0);
+  ASSERT_NE(parsed.find("task_accuracy"), nullptr);
+  ASSERT_EQ(parsed.find("task_accuracy")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.find("task_accuracy")->as_array()[0].as_number(),
+                   81.25);
+  ASSERT_NE(parsed.find("healthy"), nullptr);
+  EXPECT_FALSE(parsed.find("healthy")->as_bool());
+  EXPECT_EQ(parsed.string_or("health_reason", ""), "norm_z: drift");
+  ASSERT_NE(parsed.find("alerts"), nullptr);
+  const auto& alerts = parsed.find("alerts")->as_array();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].string_or("detector", ""), "norm_z");
+  EXPECT_DOUBLE_EQ(alerts[0].number_or("global_round", 0), 6.0);
+}
+
+TEST(RunMonitorEndToEnd, MonitoredRunReportsAccountingOnTheResult) {
+  const auto spec = one_domain_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto method = harness::make_method(harness::MethodKind::kFinetune, spec, config);
+  auto monitor = std::make_shared<fed::RunMonitor>(fed::MonitorConfig{});
+  fed::FederatedRunner runner(
+      {.spec = spec, .parallelism = 1, .seed = 3, .monitor = monitor});
+  const auto result = runner.run(*method);
+
+  EXPECT_TRUE(result.monitor.enabled);
+  // One sample per committed round plus the final end-of-run sample.
+  EXPECT_EQ(result.monitor.samples_taken, result.rounds.size() + 1);
+  EXPECT_EQ(result.monitor.samples_retained, result.monitor.samples_taken);
+  EXPECT_EQ(result.monitor.alerts, result.health.size());
+
+  const auto board = monitor->board().get();
+  EXPECT_TRUE(board.done);
+  EXPECT_EQ(board.rounds_done, result.rounds.size());
+  EXPECT_EQ(board.rounds_total, spec.rounds_per_task * spec.domains.size());
+  EXPECT_EQ(board.bytes_up, result.network.bytes_up);
+  EXPECT_EQ(board.bytes_down, result.network.bytes_down);
+  EXPECT_EQ(board.messages, result.network.messages);
+  ASSERT_EQ(board.task_accuracy.size(), result.tasks.size());
+  EXPECT_DOUBLE_EQ(board.task_accuracy[0], result.tasks[0].cumulative_accuracy);
+  // The time series saw the live registry at every round boundary.
+  EXPECT_EQ(monitor->timeseries().summary().taken,
+            result.monitor.samples_taken);
+}
+
+TEST(RunMonitorEndToEnd, ArmedMonitorLeavesRunBitwiseIdentical) {
+  const auto spec = one_domain_spec();
+  harness::ExperimentConfig config;
+  config.parallelism = 1;
+  auto run = [&](std::shared_ptr<fed::RunMonitor> monitor) {
+    auto method =
+        harness::make_method(harness::MethodKind::kFinetune, spec, config);
+    fed::FederatedRunner runner(
+        {.spec = spec, .parallelism = 1, .seed = 11, .monitor = monitor});
+    return runner.run(*method);
+  };
+  const auto plain = run(nullptr);
+  const auto monitored = run(std::make_shared<fed::RunMonitor>(
+      fed::MonitorConfig::parse("quarantine_rate=0.01,norm_z=1")));
+
+  ASSERT_EQ(monitored.tasks.size(), plain.tasks.size());
+  for (std::size_t t = 0; t < plain.tasks.size(); ++t) {
+    EXPECT_EQ(monitored.tasks[t].cumulative_accuracy,
+              plain.tasks[t].cumulative_accuracy);
+    ASSERT_EQ(monitored.tasks[t].per_domain_accuracy.size(),
+              plain.tasks[t].per_domain_accuracy.size());
+    for (std::size_t d = 0; d < plain.tasks[t].per_domain_accuracy.size(); ++d) {
+      EXPECT_EQ(monitored.tasks[t].per_domain_accuracy[d],
+                plain.tasks[t].per_domain_accuracy[d]);
+    }
+  }
+  EXPECT_EQ(monitored.network.bytes_down, plain.network.bytes_down);
+  EXPECT_EQ(monitored.network.bytes_up, plain.network.bytes_up);
+  EXPECT_EQ(monitored.network.messages, plain.network.messages);
+  EXPECT_EQ(monitored.network.dropped_updates, plain.network.dropped_updates);
+  EXPECT_EQ(monitored.rounds.size(), plain.rounds.size());
+  // The unmonitored run reports an inert monitor summary.
+  EXPECT_FALSE(plain.monitor.enabled);
+  EXPECT_TRUE(monitored.monitor.enabled);
+}

@@ -4,6 +4,10 @@
 // relies on: per-event byte totals reconcile exactly with RunResult::network.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -324,4 +328,90 @@ TEST(ObsTrace, DisabledTraceWritesNothing) {
   EXPECT_FALSE(obs::trace_enabled());
   obs::trace(obs::TraceEvent("ignored"));  // must be a no-op, not a crash
   obs::flush_trace();
+}
+
+TEST(ObsMetrics, QuantileEdgeContract) {
+  // The documented interpolation contract (obs.hpp): q <= 0 is exactly min,
+  // q >= 1 is exactly max — out-of-range q included — and interior
+  // estimates are clamped to the observed extremes.
+  obs::Histogram& h = obs::histogram("test.quantile_edges");
+  h.reset();
+  for (double v : {0.7, 3.0, 12.5, 40.0}) h.observe(v);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(snap.quantile(-0.5), 0.7);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(2.0), 40.0);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(snap.quantile(q), 0.7) << q;
+    EXPECT_LE(snap.quantile(q), 40.0) << q;
+  }
+  // Monotone in q.
+  EXPECT_LE(snap.quantile(0.25), snap.quantile(0.75));
+
+  // Empty histogram: every q answers 0.0 (no samples, no estimate).
+  obs::Histogram& empty = obs::histogram("test.quantile_edges_empty");
+  empty.reset();
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(empty.snapshot().quantile(q), 0.0) << q;
+  }
+
+  // All samples in one log2 bucket [2, 4): interior quantiles interpolate
+  // inside the bucket but stay clamped to the observed [min, max].
+  obs::Histogram& one_bucket = obs::histogram("test.quantile_edges_bucket");
+  one_bucket.reset();
+  for (double v : {2.1, 2.9, 3.5}) one_bucket.observe(v);
+  const auto bs = one_bucket.snapshot();
+  EXPECT_DOUBLE_EQ(bs.quantile(0.0), 2.1);
+  EXPECT_DOUBLE_EQ(bs.quantile(1.0), 3.5);
+  EXPECT_GE(bs.quantile(0.5), 2.1);
+  EXPECT_LE(bs.quantile(0.5), 3.5);
+}
+
+TEST(ObsTrace, SigtermMidRunLeavesParseableTrace) {
+  // Satellite contract: a run killed mid-flight must still leave a trace in
+  // which every line parses. The child opens a sink (which installs the
+  // crash handlers), records events without flushing, reports readiness
+  // over a pipe, and spins until the parent delivers SIGTERM.
+  const std::string path = "/tmp/reffil_obs_crashflush_test.jsonl";
+  std::filesystem::remove(path);
+  int ready[2];
+  ASSERT_EQ(::pipe(ready), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(ready[0]);
+    obs::set_trace_path(path);
+    for (int i = 0; i < 50; ++i) {
+      obs::trace(obs::TraceEvent("crash_test")
+                     .field("i", i)
+                     .field("payload", "quote\" slash\\ done"));
+    }
+    const char byte = 1;
+    (void)::write(ready[1], &byte, 1);
+    for (;;) ::pause();
+  }
+  ::close(ready[1]);
+  char byte = 0;
+  ASSERT_EQ(::read(ready[0], &byte, 1), 1);
+  ::close(ready[0]);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The handler flushes, then re-raises with the default disposition, so
+  // the exit status still reports death by SIGTERM.
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::size_t events = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    EXPECT_NO_THROW(util::json::parse(line)) << line;
+    EXPECT_NE(line.find("\"event\":\"crash_test\""), std::string::npos);
+    ++events;
+  }
+  EXPECT_EQ(events, 50u);
+  std::filesystem::remove(path);
 }

@@ -1,0 +1,130 @@
+// TimeSeries store tests (util/timeseries.hpp): ring bounds and overwrite
+// accounting, per-sample deltas for monotonic series (counters and histogram
+// count/sum flattenings, including the reset-restart rule), wall-clock
+// cadence gating, and tail() ordering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "reffil/util/timeseries.hpp"
+
+using namespace reffil;
+
+namespace {
+
+obs::Registry::Snapshot synthetic(std::uint64_t counter_value,
+                                  double gauge_value,
+                                  std::uint64_t hist_count, double hist_sum) {
+  obs::Registry::Snapshot snap;
+  snap.counters["fed.bytes_up"] = counter_value;
+  snap.gauges["run.task"] = gauge_value;
+  obs::HistogramSnapshot hist;
+  hist.stats.count = hist_count;
+  hist.stats.sum = hist_sum;
+  snap.histograms["round.seconds"] = hist;
+  return snap;
+}
+
+}  // namespace
+
+TEST(TimeSeries, RingKeepsMostRecentRowsAndCountsTruncation) {
+  obs::TimeSeries ts(3);
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    ts.sample_snapshot(static_cast<double>(r), r, synthetic(r, 0.0, 0, 0.0));
+  }
+  EXPECT_EQ(ts.size(), 3u);
+  const auto summary = ts.summary();
+  EXPECT_EQ(summary.taken, 5u);
+  EXPECT_EQ(summary.retained, 3u);
+  EXPECT_EQ(summary.capacity, 3u);
+
+  // Oldest-first tail; rounds 1 and 2 were overwritten.
+  const auto rows = ts.tail(10);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].round, 3u);
+  EXPECT_EQ(rows[1].round, 4u);
+  EXPECT_EQ(rows[2].round, 5u);
+  EXPECT_DOUBLE_EQ(rows[2].sim_time_s, 5.0);
+
+  const auto last_two = ts.tail(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].round, 4u);
+  EXPECT_EQ(last_two[1].round, 5u);
+}
+
+TEST(TimeSeries, DeltasCoverCountersAndHistogramSeriesButNotGauges) {
+  obs::TimeSeries ts(8);
+  ts.sample_snapshot(0.0, 1, synthetic(10, 5.0, 2, 3.5));
+  ts.sample_snapshot(0.0, 2, synthetic(25, 1.0, 5, 9.0));
+
+  const auto rows = ts.tail(2);
+  ASSERT_EQ(rows.size(), 2u);
+
+  // First sample: deltas equal the values (baseline is zero).
+  EXPECT_DOUBLE_EQ(rows[0].values.at("fed.bytes_up"), 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].deltas.at("fed.bytes_up"), 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].deltas.at("round.seconds.count"), 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].deltas.at("round.seconds.sum"), 3.5);
+  // Gauges appear in values but never in deltas (not monotonic).
+  EXPECT_DOUBLE_EQ(rows[0].values.at("run.task"), 5.0);
+  EXPECT_EQ(rows[0].deltas.count("run.task"), 0u);
+
+  // Second sample: deltas are the increments since the first.
+  EXPECT_DOUBLE_EQ(rows[1].deltas.at("fed.bytes_up"), 15.0);
+  EXPECT_DOUBLE_EQ(rows[1].deltas.at("round.seconds.count"), 3.0);
+  EXPECT_DOUBLE_EQ(rows[1].deltas.at("round.seconds.sum"), 5.5);
+  EXPECT_DOUBLE_EQ(rows[1].values.at("run.task"), 1.0);
+}
+
+TEST(TimeSeries, ShrunkenCounterRestartsItsBaseline) {
+  // A Registry::reset() between samples makes a counter go backwards; the
+  // delta must restart from the new value, never report a negative rate.
+  obs::TimeSeries ts(4);
+  ts.sample_snapshot(0.0, 1, synthetic(100, 0.0, 0, 0.0));
+  ts.sample_snapshot(0.0, 2, synthetic(7, 0.0, 0, 0.0));
+  const auto rows = ts.tail(1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].deltas.at("fed.bytes_up"), 7.0);
+}
+
+TEST(TimeSeries, GaugeNamedLikeHistogramSeriesGetsNoDelta) {
+  // The ".sum"/".count" suffix marks histogram flattenings as monotonic; a
+  // gauge that happens to share the suffix must still be excluded.
+  obs::Registry::Snapshot snap;
+  snap.gauges["load.sum"] = 4.0;
+  obs::TimeSeries ts(2);
+  ts.sample_snapshot(0.0, 1, snap);
+  const auto rows = ts.tail(1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].values.at("load.sum"), 4.0);
+  EXPECT_EQ(rows[0].deltas.count("load.sum"), 0u);
+}
+
+TEST(TimeSeries, MaybeSampleGatesOnWallClockCadence) {
+  obs::TimeSeries ts(4);
+  // Non-positive interval never samples.
+  EXPECT_FALSE(ts.maybe_sample(0.0, 0.0, 1));
+  EXPECT_FALSE(ts.maybe_sample(-1.0, 0.0, 1));
+  EXPECT_EQ(ts.size(), 0u);
+  // First sample always lands; an immediate retry inside a huge interval
+  // does not.
+  EXPECT_TRUE(ts.maybe_sample(3600.0, 0.0, 1));
+  EXPECT_FALSE(ts.maybe_sample(3600.0, 0.0, 2));
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.tail(1)[0].round, 1u);
+}
+
+TEST(TimeSeries, SampleReadsTheLiveRegistry) {
+  obs::Counter& c = obs::counter("ts.test.live");
+  c.reset();
+  c.add(4);
+  obs::TimeSeries ts(2);
+  ts.sample(1.5, 7);
+  const auto rows = ts.tail(1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].round, 7u);
+  EXPECT_DOUBLE_EQ(rows[0].sim_time_s, 1.5);
+  EXPECT_DOUBLE_EQ(rows[0].values.at("ts.test.live"), 4.0);
+  EXPECT_DOUBLE_EQ(rows[0].deltas.at("ts.test.live"), 4.0);
+}

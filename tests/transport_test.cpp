@@ -529,3 +529,29 @@ TEST(CacheKeyFaults, ZeroFaultTagKeepsLegacyKeysStable) {
             harness::cache_key("Digits-Five", "orig", "RefFiL", 7, "scaled",
                                other.tag()));
 }
+
+TEST(TransportNorm, UpdateStateL2NormMatchesHandComputation) {
+  // 16 x 0.5^2 + (1^2 + 2^2 + 3^2) = 4 + 14 = 18.
+  const auto norm = fed::update_state_l2_norm(serialized_state(0.5f));
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_NEAR(*norm, std::sqrt(18.0), 1e-9);
+}
+
+TEST(TransportNorm, UndecodablePayloadsYieldNoNorm) {
+  // Random bytes, an empty payload, and a truncated state all decline to
+  // produce a statistic rather than feeding garbage to the norm detector.
+  EXPECT_FALSE(fed::update_state_l2_norm(sample_payload()).has_value());
+  EXPECT_FALSE(fed::update_state_l2_norm({}).has_value());
+  auto truncated = serialized_state();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(fed::update_state_l2_norm(truncated).has_value());
+}
+
+TEST(TransportNorm, NonFiniteStateYieldsNoNorm) {
+  fed::ModelState state;
+  state.push_back(tensor::Tensor::vector(
+      {1.0f, std::numeric_limits<float>::infinity()}));
+  util::ByteWriter writer;
+  fed::serialize_state(state, writer);
+  EXPECT_FALSE(fed::update_state_l2_norm(writer.take()).has_value());
+}

@@ -111,13 +111,15 @@ void comms_tables() {
                 spec.name.c_str());
     std::printf("| Method | compress | down MiB | up MiB | up x | messages | "
                 "dropped | wall s | "
-                "train s | round p50/p95/p99 ms | aggregate s | eval s |\n");
-    std::printf("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+                "train s | round p50/p95/p99 ms | aggregate s | eval s | "
+                "alerts |\n");
+    std::printf("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for (const auto kind : harness::all_method_kinds()) {
       const auto name = harness::method_display_name(kind);
       const auto cell = load_cell(spec, "orig", name);
       if (!cell) {
-        std::printf("| %s | (pending) | | | | | | | | | | |\n", name.c_str());
+        std::printf("| %s | (pending) | | | | | | | | | | | |\n",
+                    name.c_str());
         continue;
       }
       const harness::CommsSummary c = cell->comms();
@@ -131,14 +133,36 @@ void comms_tables() {
       // Uplink compression ratio: raw f32-equivalent over metered wire bytes
       // (1.00 for uncompressed cells, where the two counters coincide).
       const double up_ratio = c.bytes_up > 0 ? c.bytes_up_raw / c.bytes_up : 1.0;
+      // Health-alert roll-up over the cached seeds: "-" when no seed was
+      // monitored, "ok" for monitored-and-clean, else the firing count with
+      // detector names and the round of the first firing per detector.
+      bool monitored = false;
+      std::size_t alert_count = 0;
+      std::string alert_note;
+      for (const auto& run : cell->runs) {
+        monitored = monitored || run.monitor.enabled;
+        alert_count += run.health.size();
+        for (const auto& event : run.health) {
+          const std::string tag =
+              event.detector + "@r" + std::to_string(event.global_round);
+          if (alert_note.find(event.detector) == std::string::npos) {
+            alert_note += (alert_note.empty() ? "" : ", ") + tag;
+          }
+        }
+      }
+      const std::string alerts =
+          !monitored ? "-"
+          : alert_count == 0
+              ? "ok"
+              : std::to_string(alert_count) + " (" + alert_note + ")";
       std::printf("| %s | %s | %.2f | %.2f | %.2f | %.0f | %.0f | %.2f | "
-                  "%.2f | %.1f / %.1f / %.1f | %.2f | %.2f |\n",
+                  "%.2f | %.1f / %.1f / %.1f | %.2f | %.2f | %s |\n",
                   name.c_str(), c.compression.c_str(),
                   c.bytes_down / 1048576.0, c.bytes_up / 1048576.0, up_ratio,
                   c.messages, c.dropped_updates, c.wall_seconds,
                   c.train_seconds, hs.quantile(0.50) * 1e3,
                   hs.quantile(0.95) * 1e3, hs.quantile(0.99) * 1e3,
-                  c.aggregate_seconds, c.eval_seconds);
+                  c.aggregate_seconds, c.eval_seconds, alerts.c_str());
     }
     std::printf("\n");
   }

@@ -28,16 +28,36 @@
 //                     top-10% sparsified q8 deltas:
 //                       --compress q8,topk=0.1
 //   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
-//   --json            machine-readable output
+//   --serve-metrics P serve live /metrics, /healthz and /progress over HTTP
+//                     on 127.0.0.1:P while the run executes (0 = ephemeral
+//                     port, printed to stderr). Implies --monitor. The
+//                     REFFIL_METRICS_PORT env var is the flag's equivalent;
+//                     REFFIL_METRICS_LINGER=SECONDS keeps the server up that
+//                     long after the run so a scraper can read the final
+//                     state (GET /quitquitquit ends the linger early).
+//   --monitor SPEC    arm live telemetry without the HTTP server; SPEC is a
+//                     comma-separated key=value list (capacity=N,interval=S,
+//                     norm_z=Z,norm_window=N,quarantine_rate=P,latency_slo=S,
+//                     slo_burn=P,slo_window=N,accuracy_drop=PTS,
+//                     recovery_rounds=N) — see fed/health.hpp. Empty SPEC ("")
+//                     uses the defaults.
+//   --json            machine-readable output (includes a "health" block for
+//                     monitored runs)
 //   --list            print datasets and methods, then exit
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "reffil/data/spec.hpp"
+#include "reffil/fed/health.hpp"
 #include "reffil/harness/experiment.hpp"
 #include "reffil/tensor/kernels_dispatch.hpp"
+#include "reffil/util/expo.hpp"
 #include "reffil/util/obs.hpp"
 #include "reffil/util/prof.hpp"
 
@@ -50,7 +70,8 @@ int usage(const char* argv0) {
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
                "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
                "[--fault-profile SPEC] [--des SPEC] [--compress SPEC] "
-               "[--profile PATH] [--json]\n"
+               "[--profile PATH] [--serve-metrics PORT] [--monitor SPEC] "
+               "[--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -148,17 +169,99 @@ void print_json(const fed::RunResult& result) {
                 it->second.quantile(0.95), it->second.quantile(0.99));
     first = false;
   }
-  std::printf("}}\n");
+  std::printf("}");
+
+  // Health block: detector firings with round coordinates. Present for every
+  // run (monitored=false for plain ones) so consumers never branch on key
+  // existence.
+  std::string health = ",\"health\":{\"monitored\":";
+  health += result.monitor.enabled ? "true" : "false";
+  health += ",\"healthy\":";
+  health += result.monitor.healthy_at_end ? "true" : "false";
+  health += ",\"alerts\":" + std::to_string(result.health.size());
+  health += ",\"samples_taken\":" +
+            std::to_string(result.monitor.samples_taken);
+  health += ",\"samples_retained\":" +
+            std::to_string(result.monitor.samples_retained);
+  health += ",\"events\":[";
+  for (std::size_t i = 0; i < result.health.size(); ++i) {
+    const auto& e = result.health[i];
+    if (i != 0) health += ',';
+    health += "{\"detector\":\"";
+    obs::json_escape(health, e.detector);
+    health += "\",\"task\":" + std::to_string(e.task);
+    health += ",\"round\":" + std::to_string(e.round);
+    health += ",\"global_round\":" + std::to_string(e.global_round);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"value\":%.6g,\"threshold\":%.6g",
+                  e.value, e.threshold);
+    health += buf;
+    health += ",\"detail\":\"";
+    obs::json_escape(health, e.detail);
+    health += "\"}";
+  }
+  health += "]}";
+  std::printf("%s}\n", health.c_str());
+}
+
+/// The /metrics extras a monitored run exposes beyond the process registry:
+/// run-scoped series fed from the progress board at round cadence, whose
+/// final values reconcile exactly with RunResult::network (the CI
+/// monitored-smoke asserts this byte-for-byte).
+std::vector<obs::expo::ExtraMetric> run_extras(const fed::ProgressSnapshot& p) {
+  std::vector<obs::expo::ExtraMetric> extras;
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t v) {
+    extras.push_back({std::string("reffil_run_") + name, help, "counter", {},
+                      static_cast<double>(v)});
+  };
+  const auto gauge = [&](const char* name, const char* help, double v) {
+    extras.push_back(
+        {std::string("reffil_run_") + name, help, "gauge", {}, v});
+  };
+  extras.push_back({"reffil_run_info",
+                    "run identity",
+                    "gauge",
+                    {{"method", p.method}, {"dataset", p.dataset}},
+                    1.0});
+  counter("rounds", "committed rounds this run", p.rounds_done);
+  counter("participants", "cumulative selected participants", p.participants);
+  counter("bytes_down", "server->client wire bytes", p.bytes_down);
+  counter("bytes_up", "client->server wire bytes", p.bytes_up);
+  counter("bytes_down_raw_equiv", "uncompressed-equivalent downlink bytes",
+          p.bytes_down_raw_equiv);
+  counter("bytes_up_raw_equiv", "uncompressed-equivalent uplink bytes",
+          p.bytes_up_raw_equiv);
+  counter("messages", "logical messages", p.messages);
+  counter("dropped", "client dropouts", p.dropped);
+  counter("quarantined", "quarantined updates", p.quarantined);
+  counter("retries", "retransmissions", p.retries);
+  counter("timed_out", "deadline-cut deliveries", p.timed_out);
+  counter("alerts", "health detector firings", p.alerts.size());
+  gauge("task", "current task index", static_cast<double>(p.task));
+  gauge("round_p95_seconds", "p95 round train+aggregate seconds",
+        p.round_p95_s);
+  gauge("healthy", "1 while /healthz is ok", p.healthy ? 1.0 : 0.0);
+  gauge("done", "1 once the run finished", p.done ? 1.0 : 0.0);
+  return extras;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string dataset_name, method_name, order = "orig", scale = "scaled";
-  std::string profile_path, fault_spec, des_spec, compress_spec;
+  std::string profile_path, fault_spec, des_spec, compress_spec, monitor_spec;
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
+  bool monitor_armed = false;
+  bool serve_metrics = false;
+  long metrics_port = 0;
+  if (const char* env_port = std::getenv("REFFIL_METRICS_PORT")) {
+    serve_metrics = true;
+    monitor_armed = true;
+    metrics_port = std::strtol(env_port, nullptr, 10);
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -217,6 +320,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       profile_path = v;
+    } else if (arg == "--serve-metrics") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_metrics = true;
+      monitor_armed = true;
+      metrics_port = std::strtol(v, nullptr, 10);
+    } else if (arg == "--monitor") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      monitor_armed = true;
+      monitor_spec = v;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -299,6 +413,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::shared_ptr<fed::RunMonitor> monitor;
+  if (monitor_armed) {
+    fed::MonitorConfig monitor_config;
+    try {
+      monitor_config = fed::MonitorConfig::parse(monitor_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --monitor: %s\n", e.what());
+      return 2;
+    }
+    monitor = std::make_shared<fed::RunMonitor>(monitor_config);
+  }
+  std::unique_ptr<obs::expo::MetricsServer> server;
+  if (serve_metrics) {
+    if (metrics_port < 0 || metrics_port > 65535) {
+      std::fprintf(stderr, "bad --serve-metrics port %ld\n", metrics_port);
+      return 2;
+    }
+    obs::expo::MetricsServer::Options options;
+    options.port = static_cast<std::uint16_t>(metrics_port);
+    server = std::make_unique<obs::expo::MetricsServer>(
+        options,
+        [monitor] {
+          return obs::expo::render_openmetrics(
+              obs::Registry::instance().snapshot(),
+              run_extras(monitor->board().get()));
+        },
+        [monitor] { return monitor->board().get().render_json(); },
+        [monitor] {
+          return std::make_pair(monitor->health().healthy(),
+                                monitor->health().reason());
+        });
+    try {
+      server->start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "reffil_run: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving /metrics /healthz /progress on 127.0.0.1:%u\n",
+                 server->port());
+  }
+
   const auto scaled_spec = harness::apply_scale(spec, config.scale);
   auto method = harness::make_method(*kind, scaled_spec, config);
   fed::RunConfig run_config{.spec = scaled_spec,
@@ -307,7 +463,8 @@ int main(int argc, char** argv) {
                             .dropout_probability = dropout,
                             .faults = faults,
                             .des = des,
-                            .compress = compress};
+                            .compress = compress,
+                            .monitor = monitor};
   fed::FederatedRunner runner(run_config);
   fed::RunResult result;
   try {
@@ -379,6 +536,28 @@ int main(int argc, char** argv) {
                 dropped_note.c_str(), result.wall_seconds,
                 result.train_seconds(), result.aggregate_seconds(),
                 result.eval_seconds());
+  }
+
+  if (server != nullptr) {
+    // Keep serving the final state so a scraper can reconcile the live
+    // counters against the --json output above; /quitquitquit ends the
+    // linger early, and no env var means no linger at all.
+    double linger_s = 0.0;
+    if (const char* env = std::getenv("REFFIL_METRICS_LINGER")) {
+      linger_s = std::strtod(env, nullptr);
+    }
+    if (linger_s > 0.0) {
+      std::fflush(stdout);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(linger_s));
+      while (std::chrono::steady_clock::now() < deadline &&
+             !server->shutdown_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    server->stop();
   }
   return 0;
 }
