@@ -4,6 +4,7 @@
 // vs. plain averaging, serialization overhead, CDAP generation cost).
 #include <benchmark/benchmark.h>
 
+#include "reffil/autograd/graph.hpp"
 #include "reffil/autograd/ops.hpp"
 #include "reffil/core/cdap.hpp"
 #include "reffil/core/finch.hpp"
@@ -17,6 +18,7 @@
 #include "reffil/nn/optimizer.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/parallel.hpp"
+#include "reffil/tensor/pool.hpp"
 #include "reffil/util/prof.hpp"
 #include "reffil/util/thread_pool.hpp"
 
@@ -173,6 +175,85 @@ static void BM_TrainStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
 }
 BENCHMARK(BM_TrainStep)->Arg(4)->Arg(8);
+
+// The same client step through capture-and-replay (autograd/graph.hpp): one
+// capture outside the loop, then bind+replay+SGD per iteration. Compare
+// directly against BM_TrainStep at the same batch — the gap is the cost of
+// eager graph construction (node/closure churn and pool traffic) that the
+// arena plan eliminates.
+static void BM_GraphReplayStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  reffil::nn::PromptNetConfig config;
+  reffil::nn::PromptNet net(config, rng);
+  std::vector<T::Tensor> images;
+  std::vector<std::size_t> labels;
+  std::vector<std::size_t> tags(batch, 0);
+  for (std::size_t i = 0; i < batch; ++i) {
+    images.push_back(T::randn({1, 16, 16}, rng));
+    labels.push_back(i % config.num_classes);
+  }
+  reffil::nn::SgdOptimizer optimizer(net.parameters(),
+                                     {.learning_rate = 0.01f, .momentum = 0.9f});
+  std::shared_ptr<AG::graph::CapturedGraph> graph;
+  {
+    AG::graph::Capture capture;
+    AG::Var total;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto out = net.forward(images[i]);
+      const AG::Var ce = AG::cross_entropy_logits(out.logits, {labels[i]});
+      total = (i == 0) ? ce : AG::add(total, ce);
+    }
+    const AG::Var loss =
+        AG::mul_scalar(total, 1.0f / static_cast<float>(batch));
+    AG::backward(loss);
+    graph = capture.finish(loss, false, tags);
+  }
+  if (!graph) {
+    state.SkipWithError("train step failed to capture");
+    return;
+  }
+  std::vector<const T::Tensor*> image_ptrs;
+  for (const auto& image : images) image_ptrs.push_back(&image);
+  for (auto _ : state) {
+    optimizer.zero_grad();
+    graph->bind(image_ptrs, labels, tags);
+    graph->replay();
+    optimizer.step();
+    benchmark::DoNotOptimize(net.parameters().front()->grad());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_GraphReplayStep)->Arg(4)->Arg(8);
+
+// Scratch-pool miss cost with and without the zero-fill. clear_thread_cache
+// forces every borrow down the allocator path; both variants pay that
+// identically, so the inter-bench delta isolates what the unconditional
+// zero-fill used to cost callers that overwrite every element anyway
+// (im2col columns, matmul outputs).
+static void BM_PoolMissNoZero(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    T::pool::clear_thread_cache();
+    T::pool::Scratch s({n}, /*zero=*/false);
+    benchmark::DoNotOptimize(s->begin());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_PoolMissNoZero)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_PoolMissZeroFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    T::pool::clear_thread_cache();
+    T::pool::Scratch s({n}, /*zero=*/true);
+    benchmark::DoNotOptimize(s->begin());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_PoolMissZeroFill)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 // Guard for the profiler's disabled-path contract (DESIGN.md §9): with no
 // sink armed, a Span costs one relaxed load — low single-digit ns. If this

@@ -5,11 +5,25 @@
 // inside the closure are borrowed from the thread-local scratch pool
 // (tensor/pool.hpp) instead of allocated, and hot loops walk raw pointers
 // rather than the bounds-checked Tensor::at().
+//
+// Forward passes follow the graph-capture convention (autograd/graph.hpp):
+// every op allocates its value placeholder, builds the node, and computes
+// the value by running a closure through graph::record() that writes the
+// node's storage in place with the *_into kernels. Eager mode and graph
+// replay execute the same closure, so replayed values are bitwise-identical
+// to eager by construction. Closures capture raw Node* (self/parents): in
+// eager mode they die inside record(), and under capture the CapturedGraph
+// keeps every referenced node alive. Forward intermediates that backward
+// also needs (softmax probabilities, im2col columns, layer-norm statistics)
+// live in shared aux buffers allocated once at op-build time and refreshed
+// by the forward closure on every replay.
 #include "reffil/autograd/ops.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
+#include "reffil/autograd/graph.hpp"
 #include "reffil/tensor/kernels_dispatch.hpp"
 #include "reffil/tensor/ops.hpp"
 #include "reffil/tensor/pool.hpp"
@@ -33,47 +47,81 @@ void require_rank2(const Var& v, const char* op) {
 }  // namespace
 
 Var add(const Var& a, const Var& b) {
-  T::Tensor value = T::add(a->value(), b->value());
-  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    if (a->requires_grad()) a->accumulate_grad(g);
-    if (b->requires_grad()) b->accumulate_grad(g);
+  Var out = make_node(T::Tensor(a->value().shape()), {a, b},
+                      [a, b](const T::Tensor& g) {
+                        if (a->requires_grad()) a->accumulate_grad(g);
+                        if (b->requires_grad()) b->accumulate_grad(g);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    T::add_into(pa->value(), pb->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var sub(const Var& a, const Var& b) {
-  T::Tensor value = T::sub(a->value(), b->value());
-  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    if (a->requires_grad()) a->accumulate_grad(g);
-    if (b->requires_grad()) b->accumulate_grad(T::neg(g));
+  Var out = make_node(T::Tensor(a->value().shape()), {a, b},
+                      [a, b](const T::Tensor& g) {
+                        if (a->requires_grad()) a->accumulate_grad(g);
+                        if (b->requires_grad()) {
+                          T::pool::Scratch db(g.shape(), /*zero=*/false);
+                          T::neg_into(g, *db);
+                          b->accumulate_grad(*db);
+                        }
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    T::sub_into(pa->value(), pb->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var mul(const Var& a, const Var& b) {
-  T::Tensor value = T::mul(a->value(), b->value());
-  return make_node(std::move(value), {a, b}, [a, b](const T::Tensor& g) {
-    if (a->requires_grad()) a->accumulate_grad(T::mul(g, b->value()));
-    if (b->requires_grad()) b->accumulate_grad(T::mul(g, a->value()));
+  Var out = make_node(T::Tensor(a->value().shape()), {a, b},
+                      [a, b](const T::Tensor& g) {
+                        if (a->requires_grad()) {
+                          T::pool::Scratch da(g.shape(), /*zero=*/false);
+                          T::mul_into(g, b->value(), *da);
+                          a->accumulate_grad(*da);
+                        }
+                        if (b->requires_grad()) {
+                          T::pool::Scratch db(g.shape(), /*zero=*/false);
+                          T::mul_into(g, a->value(), *db);
+                          b->accumulate_grad(*db);
+                        }
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    T::mul_into(pa->value(), pb->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var add_scalar(const Var& a, float s) {
-  return make_node(T::add_scalar(a->value(), s), {a}, [a](const T::Tensor& g) {
-    a->accumulate_grad(g);
+  Var out = make_node(T::Tensor(a->value().shape()), {a},
+                      [a](const T::Tensor& g) { a->accumulate_grad(g); });
+  graph::record(out, [self = out.get(), pa = a.get(), s] {
+    T::add_scalar_into(pa->value(), s, self->mutable_value());
   });
+  return out;
 }
 
 Var mul_scalar(const Var& a, float s) {
-  return make_node(T::mul_scalar(a->value(), s), {a}, [a, s](const T::Tensor& g) {
-    a->accumulate_grad(T::mul_scalar(g, s));
+  Var out = make_node(T::Tensor(a->value().shape()), {a},
+                      [a, s](const T::Tensor& g) {
+                        T::pool::Scratch da(g.shape(), /*zero=*/false);
+                        T::mul_scalar_into(g, s, *da);
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), s] {
+    T::mul_scalar_into(pa->value(), s, self->mutable_value());
   });
+  return out;
 }
 
 Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
 
 Var relu(const Var& a) {
   prof::OpSpan ps("ag.relu");
-  return make_node(
-      T::relu(a->value()), {a},
+  Var out = make_node(
+      T::Tensor(a->value().shape()), {a},
       [a](const T::Tensor& g) {
         T::pool::Scratch dx(g.shape(), /*zero=*/false);
         const float* x = a->value().begin();
@@ -85,54 +133,106 @@ Var relu(const Var& a) {
         a->accumulate_grad(*dx);
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::relu_into(pa->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var tanh(const Var& a) {
-  T::Tensor y = T::tanh(a->value());
-  return make_node(y, {a}, [a, y](const T::Tensor& g) {
-    T::pool::Scratch dx(g.shape(), /*zero=*/false);
-    const float* py = y.begin();
-    const float* pg = g.begin();
-    float* d = dx->begin();
-    for (std::size_t i = 0; i < g.numel(); ++i) {
-      d[i] = pg[i] * (1.0f - py[i] * py[i]);
-    }
-    a->accumulate_grad(*dx);
+  Var out = make_node(T::Tensor(a->value().shape()), {a}, {});
+  if (out->requires_grad()) {
+    // Reads y from the node's own value, which the forward closure refreshes
+    // on every replay — never a stale captured copy.
+    out->set_backward([a, self = out.get()](const T::Tensor& g) {
+      T::pool::Scratch dx(g.shape(), /*zero=*/false);
+      const float* py = self->value().begin();
+      const float* pg = g.begin();
+      float* d = dx->begin();
+      for (std::size_t i = 0; i < g.numel(); ++i) {
+        d[i] = pg[i] * (1.0f - py[i] * py[i]);
+      }
+      a->accumulate_grad(*dx);
+    });
+  }
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::tanh_into(pa->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var sigmoid(const Var& a) {
-  T::Tensor y = T::sigmoid(a->value());
-  return make_node(y, {a}, [a, y](const T::Tensor& g) {
-    T::pool::Scratch dx(g.shape(), /*zero=*/false);
-    const float* py = y.begin();
-    const float* pg = g.begin();
-    float* d = dx->begin();
-    for (std::size_t i = 0; i < g.numel(); ++i) {
-      d[i] = pg[i] * (py[i] * (1.0f - py[i]));
-    }
-    a->accumulate_grad(*dx);
+  Var out = make_node(T::Tensor(a->value().shape()), {a}, {});
+  if (out->requires_grad()) {
+    out->set_backward([a, self = out.get()](const T::Tensor& g) {
+      T::pool::Scratch dx(g.shape(), /*zero=*/false);
+      const float* py = self->value().begin();
+      const float* pg = g.begin();
+      float* d = dx->begin();
+      for (std::size_t i = 0; i < g.numel(); ++i) {
+        d[i] = pg[i] * (py[i] * (1.0f - py[i]));
+      }
+      a->accumulate_grad(*dx);
+    });
+  }
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::sigmoid_into(pa->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var exp(const Var& a) {
-  T::Tensor y = T::exp(a->value());
-  return make_node(y, {a}, [a, y](const T::Tensor& g) {
-    a->accumulate_grad(T::mul(g, y));
+  Var out = make_node(T::Tensor(a->value().shape()), {a}, {});
+  if (out->requires_grad()) {
+    out->set_backward([a, self = out.get()](const T::Tensor& g) {
+      T::pool::Scratch dx(g.shape(), /*zero=*/false);
+      T::mul_into(g, self->value(), *dx);
+      a->accumulate_grad(*dx);
+    });
+  }
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::exp_into(pa->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var log(const Var& a) {
-  return make_node(T::log(a->value()), {a}, [a](const T::Tensor& g) {
-    a->accumulate_grad(T::div(g, a->value()));
+  Var out = make_node(T::Tensor(a->value().shape()), {a},
+                      [a](const T::Tensor& g) {
+                        T::pool::Scratch dx(g.shape(), /*zero=*/false);
+                        T::div_into(g, a->value(), *dx);
+                        a->accumulate_grad(*dx);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::log_into(pa->value(), self->mutable_value());
   });
+  return out;
+}
+
+Var detach(const Var& a) {
+  // A constant-valued copy of `a` that blocks gradient flow. Unlike
+  // autograd::constant(a->value()), the link to the producer is preserved
+  // under capture, so a replayed graph re-reads the refreshed upstream value
+  // instead of replaying a frozen snapshot.
+  auto out = std::make_shared<Node>(T::Tensor(a->value().shape()),
+                                    /*requires_grad=*/false);
+  if (graph::detail::capture_active()) graph::detail::track_external(out, {a});
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::copy_into(pa->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var matmul(const Var& a, const Var& b) {
+  require_rank2(a, "matmul(a)");
+  require_rank2(b, "matmul(b)");
+  if (a->value().dim(1) != b->value().dim(0)) {
+    throw ShapeError("matmul: " + T::shape_to_string(a->value().shape()) +
+                     " x " + T::shape_to_string(b->value().shape()));
+  }
   prof::OpSpan ps("ag.matmul");
-  T::Tensor value = T::matmul(a->value(), b->value());
-  return make_node(
-      std::move(value), {a, b},
+  Var out = make_node(
+      T::Tensor({a->value().dim(0), b->value().dim(1)}), {a, b},
       [a, b](const T::Tensor& g) {
         // dA = g·Bᵀ, dB = Aᵀ·g — fused kernels read the transposed operand in
         // place; the products land in pooled scratch that dies with the
@@ -149,13 +249,22 @@ Var matmul(const Var& a, const Var& b) {
         }
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    T::matmul_into(pa->value(), pb->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var matmul_nt(const Var& a, const Var& b) {
+  require_rank2(a, "matmul_nt(a)");
+  require_rank2(b, "matmul_nt(b)");
+  if (a->value().dim(1) != b->value().dim(1)) {
+    throw ShapeError("matmul_nt: " + T::shape_to_string(a->value().shape()) +
+                     " x " + T::shape_to_string(b->value().shape()) + "ᵀ");
+  }
   prof::OpSpan ps("ag.matmul_nt");
-  T::Tensor value = T::matmul_nt(a->value(), b->value());
-  return make_node(
-      std::move(value), {a, b},
+  Var out = make_node(
+      T::Tensor({a->value().dim(0), b->value().dim(0)}), {a, b},
       [a, b](const T::Tensor& g) {
         // C = A·Bᵀ, so dA = g·B and dB = gᵀ·A — again no transposed copies.
         if (a->requires_grad()) {
@@ -170,13 +279,24 @@ Var matmul_nt(const Var& a, const Var& b) {
         }
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    T::matmul_nt_into(pa->value(), pb->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var transpose(const Var& a) {
   require_rank2(a, "transpose");
-  return make_node(T::transpose2d(a->value()), {a}, [a](const T::Tensor& g) {
-    a->accumulate_grad(T::transpose2d(g));
+  Var out = make_node(T::Tensor({a->value().dim(1), a->value().dim(0)}), {a},
+                      [a](const T::Tensor& g) {
+                        T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+                        T::transpose2d_into(g, *da);
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::transpose2d_into(pa->value(), self->mutable_value());
   });
+  return out;
 }
 
 Var add_rowvec(const Var& x, const Var& b) {
@@ -187,20 +307,26 @@ Var add_rowvec(const Var& x, const Var& b) {
   }
   const std::size_t m = x->value().dim(0), n = x->value().dim(1);
   prof::OpSpan ps("ag.add_rowvec");
-  T::Tensor value = x->value();
-  const float* pb = b->value().begin();
-  float* pv = value.begin();
-  for (std::size_t i = 0; i < m; ++i) {
-    float* row = pv + i * n;
-    for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
-  }
-  return make_node(
-      std::move(value), {x, b},
-      [x, b](const T::Tensor& g) {
+  Var out = make_node(
+      T::Tensor({m, n}), {x, b},
+      [x, b, n](const T::Tensor& g) {
         if (x->requires_grad()) x->accumulate_grad(g);
-        if (b->requires_grad()) b->accumulate_grad(T::sum_rows(g));
+        if (b->requires_grad()) {
+          T::pool::Scratch db({n}, /*zero=*/false);
+          T::sum_rows_into(g, *db);
+          b->accumulate_grad(*db);
+        }
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), px = x.get(), pb = b.get(), m, n] {
+    const float* pxv = px->value().begin();
+    const float* pbv = pb->value().begin();
+    float* pv = self->mutable_value().begin();
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) pv[i * n + j] = pxv[i * n + j] + pbv[j];
+    }
+  });
+  return out;
 }
 
 Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
@@ -217,125 +343,180 @@ Var rowwise_affine(const Var& x, const Var& alpha, const Var& lambda) {
   check_vec(lambda, "lambda");
 
   prof::OpSpan ps("ag.rowwise_affine");
-  T::Tensor value({m, n});
-  {
-    const float* px = x->value().begin();
-    const float* pa = alpha->value().begin();
-    const float* pl = lambda->value().begin();
-    float* pv = value.begin();
+  Var out = make_node(T::Tensor({m, n}), {x, alpha, lambda},
+                      [x, alpha, lambda, m, n](const T::Tensor& g) {
+                        const float* pg = g.begin();
+                        const float* pa = alpha->value().begin();
+                        if (x->requires_grad()) {
+                          T::pool::Scratch dx({m, n}, /*zero=*/false);
+                          float* d = dx->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            const float ai = pa[i];
+                            for (std::size_t j = 0; j < n; ++j) {
+                              d[i * n + j] = pg[i * n + j] * ai;
+                            }
+                          }
+                          x->accumulate_grad(*dx);
+                        }
+                        if (alpha->requires_grad()) {
+                          T::pool::Scratch da({m}, /*zero=*/false);
+                          const float* px = x->value().begin();
+                          const float* pl = lambda->value().begin();
+                          float* d = da->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            double acc = 0.0;
+                            const float li = pl[i];
+                            for (std::size_t j = 0; j < n; ++j) {
+                              acc += double(pg[i * n + j]) * (px[i * n + j] + li);
+                            }
+                            d[i] = static_cast<float>(acc);
+                          }
+                          alpha->accumulate_grad(*da);
+                        }
+                        if (lambda->requires_grad()) {
+                          T::pool::Scratch dl({m}, /*zero=*/false);
+                          float* d = dl->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            double acc = 0.0;
+                            const float ai = pa[i];
+                            for (std::size_t j = 0; j < n; ++j) {
+                              acc += double(pg[i * n + j]) * ai;
+                            }
+                            d[i] = static_cast<float>(acc);
+                          }
+                          lambda->accumulate_grad(*dl);
+                        }
+                      },
+                      ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), px = x.get(), pa = alpha.get(),
+                      pl = lambda.get(), m, n] {
+    const float* pxv = px->value().begin();
+    const float* pav = pa->value().begin();
+    const float* plv = pl->value().begin();
+    float* pv = self->mutable_value().begin();
     for (std::size_t i = 0; i < m; ++i) {
-      const float ai = pa[i];
-      const float li = pl[i];
-      for (std::size_t j = 0; j < n; ++j) pv[i * n + j] = ai * (px[i * n + j] + li);
+      const float ai = pav[i];
+      const float li = plv[i];
+      for (std::size_t j = 0; j < n; ++j) pv[i * n + j] = ai * (pxv[i * n + j] + li);
     }
-  }
-  return make_node(std::move(value), {x, alpha, lambda},
-                   [x, alpha, lambda, m, n](const T::Tensor& g) {
-                     const float* pg = g.begin();
-                     const float* pa = alpha->value().begin();
-                     if (x->requires_grad()) {
-                       T::pool::Scratch dx({m, n}, /*zero=*/false);
-                       float* d = dx->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         const float ai = pa[i];
-                         for (std::size_t j = 0; j < n; ++j) {
-                           d[i * n + j] = pg[i * n + j] * ai;
-                         }
-                       }
-                       x->accumulate_grad(*dx);
-                     }
-                     if (alpha->requires_grad()) {
-                       T::pool::Scratch da({m}, /*zero=*/false);
-                       const float* px = x->value().begin();
-                       const float* pl = lambda->value().begin();
-                       float* d = da->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         double acc = 0.0;
-                         const float li = pl[i];
-                         for (std::size_t j = 0; j < n; ++j) {
-                           acc += double(pg[i * n + j]) * (px[i * n + j] + li);
-                         }
-                         d[i] = static_cast<float>(acc);
-                       }
-                       alpha->accumulate_grad(*da);
-                     }
-                     if (lambda->requires_grad()) {
-                       T::pool::Scratch dl({m}, /*zero=*/false);
-                       float* d = dl->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         double acc = 0.0;
-                         const float ai = pa[i];
-                         for (std::size_t j = 0; j < n; ++j) {
-                           acc += double(pg[i * n + j]) * ai;
-                         }
-                         d[i] = static_cast<float>(acc);
-                       }
-                       lambda->accumulate_grad(*dl);
-                     }
-                   },
-                   ps.name(), ps.corr());
+  });
+  return out;
 }
 
 Var reshape(const Var& a, tensor::Shape shape) {
   const tensor::Shape original = a->value().shape();
-  return make_node(a->value().reshaped(std::move(shape)), {a},
-                   [a, original](const T::Tensor& g) {
-                     a->accumulate_grad(g.reshaped(original));
-                   });
+  REFFIL_CHECK_MSG(T::shape_numel(shape) == a->value().numel(),
+                   "reshape: numel mismatch");
+  Var out = make_node(T::Tensor(std::move(shape)), {a},
+                      [a, original](const T::Tensor& g) {
+                        T::pool::Scratch da(original, /*zero=*/false);
+                        T::copy_into(g, *da);
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    T::copy_into(pa->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var concat_rows(const Var& a, const Var& b) {
-  T::Tensor value = T::concat_rows(a->value(), b->value());
+  require_rank2(a, "concat_rows(a)");
+  require_rank2(b, "concat_rows(b)");
+  if (a->value().dim(1) != b->value().dim(1)) {
+    throw ShapeError("concat_rows: column mismatch " +
+                     T::shape_to_string(a->value().shape()) + " vs " +
+                     T::shape_to_string(b->value().shape()));
+  }
   const std::size_t ma = a->value().dim(0);
   const std::size_t mb = b->value().dim(0);
-  return make_node(std::move(value), {a, b}, [a, b, ma, mb](const T::Tensor& g) {
-    if (a->requires_grad()) a->accumulate_grad(T::slice_rows(g, 0, ma));
-    if (b->requires_grad()) b->accumulate_grad(T::slice_rows(g, ma, ma + mb));
+  const std::size_t n = a->value().dim(1);
+  Var out = make_node(T::Tensor({ma + mb, n}), {a, b},
+                      [a, b, ma, mb, n](const T::Tensor& g) {
+                        const float* pg = g.begin();
+                        if (a->requires_grad()) {
+                          T::pool::Scratch da({ma, n}, /*zero=*/false);
+                          std::copy(pg, pg + ma * n, da->begin());
+                          a->accumulate_grad(*da);
+                        }
+                        if (b->requires_grad()) {
+                          T::pool::Scratch db({mb, n}, /*zero=*/false);
+                          std::copy(pg + ma * n, pg + (ma + mb) * n, db->begin());
+                          b->accumulate_grad(*db);
+                        }
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get()] {
+    float* pv = self->mutable_value().begin();
+    pv = std::copy(pa->value().begin(), pa->value().end(), pv);
+    std::copy(pb->value().begin(), pb->value().end(), pv);
   });
+  return out;
 }
 
 Var concat_cols(const Var& a, const Var& b) {
-  T::Tensor value = T::concat_cols(a->value(), b->value());
+  require_rank2(a, "concat_cols(a)");
+  require_rank2(b, "concat_cols(b)");
+  if (a->value().dim(0) != b->value().dim(0)) {
+    throw ShapeError("concat_cols: row mismatch " +
+                     T::shape_to_string(a->value().shape()) + " vs " +
+                     T::shape_to_string(b->value().shape()));
+  }
   const std::size_t na = a->value().dim(1);
   const std::size_t nb = b->value().dim(1);
   const std::size_t m = a->value().dim(0);
-  return make_node(std::move(value), {a, b},
-                   [a, b, m, na, nb](const T::Tensor& g) {
-                     const float* pg = g.begin();
-                     if (a->requires_grad()) {
-                       T::pool::Scratch da({m, na}, /*zero=*/false);
-                       float* d = da->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         const float* src = pg + i * (na + nb);
-                         std::copy(src, src + na, d + i * na);
-                       }
-                       a->accumulate_grad(*da);
-                     }
-                     if (b->requires_grad()) {
-                       T::pool::Scratch db({m, nb}, /*zero=*/false);
-                       float* d = db->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         const float* src = pg + i * (na + nb) + na;
-                         std::copy(src, src + nb, d + i * nb);
-                       }
-                       b->accumulate_grad(*db);
-                     }
-                   });
+  Var out = make_node(T::Tensor({m, na + nb}), {a, b},
+                      [a, b, m, na, nb](const T::Tensor& g) {
+                        const float* pg = g.begin();
+                        if (a->requires_grad()) {
+                          T::pool::Scratch da({m, na}, /*zero=*/false);
+                          float* d = da->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            const float* src = pg + i * (na + nb);
+                            std::copy(src, src + na, d + i * na);
+                          }
+                          a->accumulate_grad(*da);
+                        }
+                        if (b->requires_grad()) {
+                          T::pool::Scratch db({m, nb}, /*zero=*/false);
+                          float* d = db->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            const float* src = pg + i * (na + nb) + na;
+                            std::copy(src, src + nb, d + i * nb);
+                          }
+                          b->accumulate_grad(*db);
+                        }
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), pb = b.get(), m, na, nb] {
+    const float* pav = pa->value().begin();
+    const float* pbv = pb->value().begin();
+    float* pv = self->mutable_value().begin();
+    for (std::size_t i = 0; i < m; ++i) {
+      std::copy(pav + i * na, pav + (i + 1) * na, pv + i * (na + nb));
+      std::copy(pbv + i * nb, pbv + (i + 1) * nb, pv + i * (na + nb) + na);
+    }
+  });
+  return out;
 }
 
 Var slice_rows(const Var& a, std::size_t begin, std::size_t end) {
   require_rank2(a, "slice_rows");
-  T::Tensor value = T::slice_rows(a->value(), begin, end);
   const std::size_t m = a->value().dim(0), n = a->value().dim(1);
-  return make_node(std::move(value), {a}, [a, begin, end, m, n](const T::Tensor& g) {
-    T::pool::Scratch da({m, n});  // zeroed: only [begin, end) rows are written
-    const float* pg = g.begin();
-    float* d = da->begin();
-    for (std::size_t i = begin; i < end; ++i) {
-      std::copy(pg + (i - begin) * n, pg + (i - begin + 1) * n, d + i * n);
-    }
-    a->accumulate_grad(*da);
+  REFFIL_CHECK_MSG(begin <= end && end <= m, "slice_rows: bad range");
+  Var out = make_node(T::Tensor({end - begin, n}), {a},
+                      [a, begin, end, m, n](const T::Tensor& g) {
+                        T::pool::Scratch da({m, n});  // zeroed: only [begin, end) rows are written
+                        const float* pg = g.begin();
+                        float* d = da->begin();
+                        for (std::size_t i = begin; i < end; ++i) {
+                          std::copy(pg + (i - begin) * n, pg + (i - begin + 1) * n,
+                                    d + i * n);
+                        }
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), begin, end, n] {
+    std::copy(pa->value().begin() + begin * n, pa->value().begin() + end * n,
+              self->mutable_value().begin());
   });
+  return out;
 }
 
 Var slice_cols(const Var& a, std::size_t begin, std::size_t end) {
@@ -343,66 +524,91 @@ Var slice_cols(const Var& a, std::size_t begin, std::size_t end) {
   const std::size_t m = a->value().dim(0), n = a->value().dim(1);
   REFFIL_CHECK_MSG(begin <= end && end <= n, "slice_cols: bad range");
   const std::size_t w = end - begin;
-  T::Tensor value({m, w});
-  {
-    const float* pa = a->value().begin();
-    float* pv = value.begin();
+  Var out = make_node(T::Tensor({m, w}), {a},
+                      [a, begin, m, n, w](const T::Tensor& g) {
+                        T::pool::Scratch da({m, n});  // zeroed: only the sliced columns are written
+                        const float* pg = g.begin();
+                        float* d = da->begin();
+                        for (std::size_t i = 0; i < m; ++i) {
+                          std::copy(pg + i * w, pg + (i + 1) * w, d + i * n + begin);
+                        }
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), begin, end, m, n, w] {
+    const float* pav = pa->value().begin();
+    float* pv = self->mutable_value().begin();
     for (std::size_t i = 0; i < m; ++i) {
-      std::copy(pa + i * n + begin, pa + i * n + end, pv + i * w);
+      std::copy(pav + i * n + begin, pav + i * n + end, pv + i * w);
     }
-  }
-  return make_node(std::move(value), {a}, [a, begin, m, n, w](const T::Tensor& g) {
-    T::pool::Scratch da({m, n});  // zeroed: only the sliced columns are written
-    const float* pg = g.begin();
-    float* d = da->begin();
-    for (std::size_t i = 0; i < m; ++i) {
-      std::copy(pg + i * w, pg + (i + 1) * w, d + i * n + begin);
-    }
-    a->accumulate_grad(*da);
   });
+  return out;
 }
 
 Var select_row(const Var& table, std::size_t index) {
   require_rank2(table, "select_row");
   const std::size_t m = table->value().dim(0), n = table->value().dim(1);
   REFFIL_CHECK_MSG(index < m, "select_row: index out of range");
-  T::Tensor value = T::slice_rows(table->value(), index, index + 1);
-  return make_node(std::move(value), {table}, [table, index, m, n](const T::Tensor& g) {
-    T::pool::Scratch dt({m, n});  // zeroed: only row `index` is written
-    std::copy(g.begin(), g.begin() + n, dt->begin() + index * n);
-    table->accumulate_grad(*dt);
+  Var out = make_node(T::Tensor({1, n}), {table},
+                      [table, index, m, n](const T::Tensor& g) {
+                        T::pool::Scratch dt({m, n});  // zeroed: only row `index` is written
+                        std::copy(g.begin(), g.begin() + n, dt->begin() + index * n);
+                        table->accumulate_grad(*dt);
+                      });
+  graph::record(out, [self = out.get(), pt = table.get(), index, n] {
+    std::copy(pt->value().begin() + index * n,
+              pt->value().begin() + (index + 1) * n,
+              self->mutable_value().begin());
   });
+  return out;
 }
 
 Var sum_all(const Var& a) {
-  T::Tensor value = T::Tensor::scalar(T::sum_all(a->value()));
-  return make_node(std::move(value), {a}, [a](const T::Tensor& g) {
-    a->accumulate_grad(T::full(a->value().shape(), g.item()));
+  Var out = make_node(T::Tensor::scalar(0.0f), {a},
+                      [a](const T::Tensor& g) {
+                        T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+                        std::fill(da->begin(), da->end(), g.item());
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    self->mutable_value().begin()[0] = T::sum_all(pa->value());
   });
+  return out;
 }
 
 Var mean_all(const Var& a) {
   const float inv = 1.0f / static_cast<float>(a->value().numel());
-  T::Tensor value = T::Tensor::scalar(T::mean_all(a->value()));
-  return make_node(std::move(value), {a}, [a, inv](const T::Tensor& g) {
-    a->accumulate_grad(T::full(a->value().shape(), g.item() * inv));
+  Var out = make_node(T::Tensor::scalar(0.0f), {a},
+                      [a, inv](const T::Tensor& g) {
+                        T::pool::Scratch da(a->value().shape(), /*zero=*/false);
+                        std::fill(da->begin(), da->end(), g.item() * inv);
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get()] {
+    self->mutable_value().begin()[0] = T::mean_all(pa->value());
   });
+  return out;
 }
 
 Var mean_rows(const Var& a) {
   require_rank2(a, "mean_rows");
   const std::size_t m = a->value().dim(0), n = a->value().dim(1);
-  T::Tensor value = T::mean_rows(a->value()).reshaped({1, n});
-  return make_node(std::move(value), {a}, [a, m, n](const T::Tensor& g) {
-    const float inv = 1.0f / static_cast<float>(m);
-    T::pool::Scratch da({m, n}, /*zero=*/false);
-    const float* pg = g.begin();
-    float* d = da->begin();
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = 0; j < n; ++j) d[i * n + j] = pg[j] * inv;
-    }
-    a->accumulate_grad(*da);
+  REFFIL_CHECK(m > 0);
+  Var out = make_node(T::Tensor({1, n}), {a},
+                      [a, m, n](const T::Tensor& g) {
+                        const float inv = 1.0f / static_cast<float>(m);
+                        T::pool::Scratch da({m, n}, /*zero=*/false);
+                        const float* pg = g.begin();
+                        float* d = da->begin();
+                        for (std::size_t i = 0; i < m; ++i) {
+                          for (std::size_t j = 0; j < n; ++j) d[i * n + j] = pg[j] * inv;
+                        }
+                        a->accumulate_grad(*da);
+                      });
+  graph::record(out, [self = out.get(), pa = a.get(), m] {
+    T::sum_rows_into(pa->value(), self->mutable_value());
+    T::scale_inplace(self->mutable_value(), 1.0f / static_cast<float>(m));
   });
+  return out;
 }
 
 Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
@@ -413,17 +619,63 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
     throw ShapeError("layer_norm: gain/bias must be [n]");
   }
   prof::OpSpan ps("ag.layer_norm");
-  // Cache per-row inv-std and normalized values for backward.
+  // Per-row inv-std and normalized values, needed again by backward: shared
+  // aux buffers, allocated once here and refreshed by the forward closure.
   auto xhat = std::make_shared<T::Tensor>(T::Shape{m, n});
   auto inv_std = std::make_shared<std::vector<float>>(m);
-  T::Tensor value({m, n});
-  {
-    const float* pgain = gain->value().begin();
-    const float* pbias = bias->value().begin();
+  Var out = make_node(T::Tensor({m, n}), {x, gain, bias},
+                      [x, gain, bias, xhat, inv_std, m, n](const T::Tensor& g) {
+                        const float* pg = g.begin();
+                        const float* ph = xhat->begin();
+                        if (gain->requires_grad()) {
+                          T::pool::Scratch dg({n});  // zeroed: accumulates over rows
+                          float* d = dg->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            for (std::size_t j = 0; j < n; ++j) {
+                              d[j] += pg[i * n + j] * ph[i * n + j];
+                            }
+                          }
+                          gain->accumulate_grad(*dg);
+                        }
+                        if (bias->requires_grad()) {
+                          T::pool::Scratch db({n}, /*zero=*/false);
+                          T::sum_rows_into(g, *db);
+                          bias->accumulate_grad(*db);
+                        }
+                        if (x->requires_grad()) {
+                          T::pool::Scratch dx({m, n}, /*zero=*/false);
+                          const float* pgain = gain->value().begin();
+                          float* d = dx->begin();
+                          for (std::size_t i = 0; i < m; ++i) {
+                            // ghat = g * gain; dx = istd*(ghat - mean(ghat)
+                            //        - xhat * mean(ghat*xhat))
+                            double mean_gh = 0.0, mean_ghx = 0.0;
+                            for (std::size_t j = 0; j < n; ++j) {
+                              const double gh = double(pg[i * n + j]) * pgain[j];
+                              mean_gh += gh;
+                              mean_ghx += gh * ph[i * n + j];
+                            }
+                            mean_gh /= static_cast<double>(n);
+                            mean_ghx /= static_cast<double>(n);
+                            const float istd = (*inv_std)[i];
+                            for (std::size_t j = 0; j < n; ++j) {
+                              const double gh = double(pg[i * n + j]) * pgain[j];
+                              d[i * n + j] = static_cast<float>(
+                                  istd * (gh - mean_gh - ph[i * n + j] * mean_ghx));
+                            }
+                          }
+                          x->accumulate_grad(*dx);
+                        }
+                      },
+                      ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), px = x.get(), pgain_n = gain.get(),
+                      pbias_n = bias.get(), xhat, inv_std, m, n, eps] {
+    const float* pgain = pgain_n->value().begin();
+    const float* pbias = pbias_n->value().begin();
     float* ph = xhat->begin();
-    float* pv = value.begin();
+    float* pv = self->mutable_value().begin();
     for (std::size_t i = 0; i < m; ++i) {
-      const float* src = x->value().begin() + i * n;
+      const float* src = px->value().begin() + i * n;
       double mean = 0.0;
       for (std::size_t j = 0; j < n; ++j) mean += src[j];
       mean /= static_cast<double>(n);
@@ -441,78 +693,41 @@ Var layer_norm(const Var& x, const Var& gain, const Var& bias, float eps) {
         pv[i * n + j] = h * pgain[j] + pbias[j];
       }
     }
-  }
-  return make_node(std::move(value), {x, gain, bias},
-                   [x, gain, bias, xhat, inv_std, m, n](const T::Tensor& g) {
-                     const float* pg = g.begin();
-                     const float* ph = xhat->begin();
-                     if (gain->requires_grad()) {
-                       T::pool::Scratch dg({n});  // zeroed: accumulates over rows
-                       float* d = dg->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         for (std::size_t j = 0; j < n; ++j) {
-                           d[j] += pg[i * n + j] * ph[i * n + j];
-                         }
-                       }
-                       gain->accumulate_grad(*dg);
-                     }
-                     if (bias->requires_grad()) {
-                       bias->accumulate_grad(T::sum_rows(g));
-                     }
-                     if (x->requires_grad()) {
-                       T::pool::Scratch dx({m, n}, /*zero=*/false);
-                       const float* pgain = gain->value().begin();
-                       float* d = dx->begin();
-                       for (std::size_t i = 0; i < m; ++i) {
-                         // ghat = g * gain; dx = istd*(ghat - mean(ghat)
-                         //        - xhat * mean(ghat*xhat))
-                         double mean_gh = 0.0, mean_ghx = 0.0;
-                         for (std::size_t j = 0; j < n; ++j) {
-                           const double gh = double(pg[i * n + j]) * pgain[j];
-                           mean_gh += gh;
-                           mean_ghx += gh * ph[i * n + j];
-                         }
-                         mean_gh /= static_cast<double>(n);
-                         mean_ghx /= static_cast<double>(n);
-                         const float istd = (*inv_std)[i];
-                         for (std::size_t j = 0; j < n; ++j) {
-                           const double gh = double(pg[i * n + j]) * pgain[j];
-                           d[i * n + j] = static_cast<float>(
-                               istd * (gh - mean_gh - ph[i * n + j] * mean_ghx));
-                         }
-                       }
-                       x->accumulate_grad(*dx);
-                     }
-                   },
-                   ps.name(), ps.corr());
+  });
+  return out;
 }
 
 Var softmax_rows(const Var& logits) {
   require_rank2(logits, "softmax_rows");
   prof::OpSpan op("ag.softmax_rows");
-  T::Tensor s = T::softmax_rows(logits->value());
-  const std::size_t m = s.dim(0), n = s.dim(1);
-  return make_node(
-      s, {logits},
-      [logits, s, m, n](const T::Tensor& g) {
-        // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
-        T::pool::Scratch dx({m, n}, /*zero=*/false);
-        const float* pg = g.begin();
-        const float* ps = s.begin();
-        float* d = dx->begin();
-        for (std::size_t i = 0; i < m; ++i) {
-          double row_dot = 0.0;
-          for (std::size_t j = 0; j < n; ++j) {
-            row_dot += double(pg[i * n + j]) * ps[i * n + j];
-          }
-          for (std::size_t j = 0; j < n; ++j) {
-            d[i * n + j] = static_cast<float>(
-                ps[i * n + j] * (double(pg[i * n + j]) - row_dot));
-          }
+  const std::size_t m = logits->value().dim(0), n = logits->value().dim(1);
+  Var out = make_node(T::Tensor({m, n}), {logits}, {}, op.name(), op.corr());
+  if (out->requires_grad()) {
+    // s is the node's own value — refreshed by the forward closure, so the
+    // backward never sees a stale softmax under replay.
+    out->set_backward([logits, self = out.get(), m, n](const T::Tensor& g) {
+      // dx_ij = s_ij * (g_ij - sum_k g_ik * s_ik)
+      T::pool::Scratch dx({m, n}, /*zero=*/false);
+      const float* pg = g.begin();
+      const float* ps = self->value().begin();
+      float* d = dx->begin();
+      for (std::size_t i = 0; i < m; ++i) {
+        double row_dot = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          row_dot += double(pg[i * n + j]) * ps[i * n + j];
         }
-        logits->accumulate_grad(*dx);
-      },
-      op.name(), op.corr());
+        for (std::size_t j = 0; j < n; ++j) {
+          d[i * n + j] = static_cast<float>(
+              ps[i * n + j] * (double(pg[i * n + j]) - row_dot));
+        }
+      }
+      logits->accumulate_grad(*dx);
+    });
+  }
+  graph::record(out, [self = out.get(), pl = logits.get()] {
+    T::softmax_rows_into(pl->value(), self->mutable_value());
+  });
+  return out;
 }
 
 Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labels) {
@@ -522,27 +737,37 @@ Var cross_entropy_logits(const Var& logits, const std::vector<std::size_t>& labe
   for (std::size_t label : labels) REFFIL_CHECK_MSG(label < k, "label out of range");
 
   prof::OpSpan ps("ag.cross_entropy");
-  T::Tensor log_probs = T::log_softmax_rows(logits->value());
-  double loss = 0.0;
-  for (std::size_t i = 0; i < m; ++i) loss -= log_probs.at(i * k + labels[i]);
-  loss /= static_cast<double>(m);
-
   auto labels_copy = std::make_shared<std::vector<std::size_t>>(labels);
-  T::Tensor probs = T::softmax_rows(logits->value());
-  return make_node(T::Tensor::scalar(static_cast<float>(loss)), {logits},
-                   [logits, probs, labels_copy, m, k](const T::Tensor& g) {
-                     const float scale = g.item() / static_cast<float>(m);
-                     T::pool::Scratch dx({m, k}, /*zero=*/false);
-                     const float* pp = probs.begin();
-                     float* d = dx->begin();
-                     for (std::size_t i = 0; i < m * k; ++i) d[i] = pp[i];
-                     for (std::size_t i = 0; i < m; ++i) {
-                       d[i * k + (*labels_copy)[i]] -= 1.0f;
-                     }
-                     T::scale_inplace(*dx, scale);
-                     logits->accumulate_grad(*dx);
-                   },
-                   ps.name(), ps.corr());
+  graph::record_labels(labels_copy, k);
+  // Softmax probabilities feed backward; the forward closure recomputes them
+  // (and the log-softmax the loss reads) into this shared aux on each run.
+  auto probs = std::make_shared<T::pool::Scratch>(T::Shape{m, k}, /*zero=*/false);
+  Var out = make_node(T::Tensor::scalar(0.0f), {logits},
+                      [logits, probs, labels_copy, m, k](const T::Tensor& g) {
+                        const float scale = g.item() / static_cast<float>(m);
+                        T::pool::Scratch dx({m, k}, /*zero=*/false);
+                        const float* pp = probs->tensor().begin();
+                        float* d = dx->begin();
+                        for (std::size_t i = 0; i < m * k; ++i) d[i] = pp[i];
+                        for (std::size_t i = 0; i < m; ++i) {
+                          d[i * k + (*labels_copy)[i]] -= 1.0f;
+                        }
+                        T::scale_inplace(*dx, scale);
+                        logits->accumulate_grad(*dx);
+                      },
+                      ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pl = logits.get(), probs, labels_copy,
+                      m, k] {
+    T::pool::Scratch log_probs({m, k}, /*zero=*/false);
+    T::log_softmax_rows_into(pl->value(), *log_probs);
+    const float* plp = log_probs->begin();
+    double loss = 0.0;
+    for (std::size_t i = 0; i < m; ++i) loss -= plp[i * k + (*labels_copy)[i]];
+    loss /= static_cast<double>(m);
+    T::softmax_rows_into(pl->value(), probs->tensor());
+    self->mutable_value().begin()[0] = static_cast<float>(loss);
+  });
+  return out;
 }
 
 Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_probs,
@@ -556,51 +781,54 @@ Var distillation_loss(const Var& student_logits, const tensor::Tensor& teacher_p
   const std::size_t k = student_logits->value().dim(1);
 
   prof::OpSpan ps("ag.distill");
-  T::Tensor scaled = T::mul_scalar(student_logits->value(), 1.0f / temperature);
-  T::Tensor log_q = T::log_softmax_rows(scaled);
-  // loss = -(1/m) * sum_ij p_ij log q_ij (constant teacher-entropy term dropped)
-  double loss = 0.0;
-  for (std::size_t i = 0; i < m * k; ++i) loss -= double(teacher_probs.at(i)) * log_q.at(i);
-  loss /= static_cast<double>(m);
-
-  T::Tensor q = T::softmax_rows(scaled);
-  return make_node(T::Tensor::scalar(static_cast<float>(loss)), {student_logits},
-                   [student_logits, q, teacher_probs, temperature, m](const T::Tensor& g) {
-                     // d/dz = (q - p) / (m * T)
-                     const float scale = g.item() / (static_cast<float>(m) * temperature);
-                     T::pool::Scratch dx(q.shape(), /*zero=*/false);
-                     const float* pq = q.begin();
-                     const float* pp = teacher_probs.begin();
-                     float* d = dx->begin();
-                     for (std::size_t i = 0; i < q.numel(); ++i) {
-                       d[i] = (pq[i] - pp[i]) * scale;
-                     }
-                     student_logits->accumulate_grad(*dx);
-                   },
-                   ps.name(), ps.corr());
+  // One shared copy of the teacher distribution (it is a constant) plus the
+  // student softmax q, which backward reads and forward refreshes.
+  auto teacher = std::make_shared<T::Tensor>(teacher_probs);
+  auto q = std::make_shared<T::pool::Scratch>(T::Shape{m, k}, /*zero=*/false);
+  Var out = make_node(T::Tensor::scalar(0.0f), {student_logits},
+                      [student_logits, q, teacher, temperature, m](const T::Tensor& g) {
+                        // d/dz = (q - p) / (m * T)
+                        const float scale =
+                            g.item() / (static_cast<float>(m) * temperature);
+                        T::pool::Scratch dx(q->tensor().shape(), /*zero=*/false);
+                        const float* pq = q->tensor().begin();
+                        const float* pp = teacher->begin();
+                        float* d = dx->begin();
+                        for (std::size_t i = 0; i < q->tensor().numel(); ++i) {
+                          d[i] = (pq[i] - pp[i]) * scale;
+                        }
+                        student_logits->accumulate_grad(*dx);
+                      },
+                      ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pstu = student_logits.get(), q, teacher,
+                      temperature, m, k] {
+    T::pool::Scratch scaled({m, k}, /*zero=*/false);
+    T::mul_scalar_into(pstu->value(), 1.0f / temperature, *scaled);
+    T::pool::Scratch log_q({m, k}, /*zero=*/false);
+    T::log_softmax_rows_into(*scaled, *log_q);
+    // loss = -(1/m) * sum_ij p_ij log q_ij (constant teacher-entropy term dropped)
+    const float* pp = teacher->begin();
+    const float* plq = log_q->begin();
+    double loss = 0.0;
+    for (std::size_t i = 0; i < m * k; ++i) loss -= double(pp[i]) * plq[i];
+    loss /= static_cast<double>(m);
+    T::softmax_rows_into(*scaled, q->tensor());
+    self->mutable_value().begin()[0] = static_cast<float>(loss);
+  });
+  return out;
 }
 
 Var cosine_similarity(const Var& a, const Var& b) {
   REFFIL_CHECK_MSG(a->value().numel() == b->value().numel(),
                    "cosine_similarity: size mismatch");
   prof::OpSpan ps("ag.cosine");
-  const float* pa = a->value().begin();
-  const float* pb = b->value().begin();
-  const std::size_t n = a->value().numel();
-  double num = 0.0, na2 = 0.0, nb2 = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    num += double(pa[i]) * pb[i];
-    na2 += double(pa[i]) * pa[i];
-    nb2 += double(pb[i]) * pb[i];
-  }
-  const double eps = 1e-12;
-  const double norm_a = std::sqrt(na2) + eps;
-  const double norm_b = std::sqrt(nb2) + eps;
-  const double cos = num / (norm_a * norm_b);
-
-  return make_node(
-      T::Tensor::scalar(static_cast<float>(cos)), {a, b},
-      [a, b, cos, norm_a, norm_b](const T::Tensor& g) {
+  // aux = {cos, norm_a, norm_b}: backward needs all three, and the forward
+  // closure recomputes them from the live parent values on every run.
+  auto aux = std::make_shared<std::array<double, 3>>();
+  Var out = make_node(
+      T::Tensor::scalar(0.0f), {a, b},
+      [a, b, aux](const T::Tensor& g) {
+        const double cos = (*aux)[0], norm_a = (*aux)[1], norm_b = (*aux)[2];
         const double gs = g.item();
         const std::size_t n = a->value().numel();
         const float* pa = a->value().begin();
@@ -626,6 +854,26 @@ Var cosine_similarity(const Var& a, const Var& b) {
         }
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pa_n = a.get(), pb_n = b.get(), aux] {
+    const float* pa = pa_n->value().begin();
+    const float* pb = pb_n->value().begin();
+    const std::size_t n = pa_n->value().numel();
+    double num = 0.0, na2 = 0.0, nb2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      num += double(pa[i]) * pb[i];
+      na2 += double(pa[i]) * pa[i];
+      nb2 += double(pb[i]) * pb[i];
+    }
+    const double eps = 1e-12;
+    const double norm_a = std::sqrt(na2) + eps;
+    const double norm_b = std::sqrt(nb2) + eps;
+    const double cos = num / (norm_a * norm_b);
+    (*aux)[0] = cos;
+    (*aux)[1] = norm_a;
+    (*aux)[2] = norm_b;
+    self->mutable_value().begin()[0] = static_cast<float>(cos);
+  });
+  return out;
 }
 
 namespace {
@@ -694,20 +942,8 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
   // every forward pass.
   auto col = std::make_shared<T::pool::Scratch>(
       T::Shape{geom.cin * kh * kw, hw}, /*zero=*/false);
-  im2col_into(input->value(), geom, **col);
-  T::Tensor out2d = T::matmul(weight->value(), **col);  // [Cout, Hout*Wout]
-  {
-    const float* pb = bias->value().begin();
-    float* po = out2d.begin();
-    for (std::size_t c = 0; c < cout; ++c) {
-      const float b = pb[c];
-      for (std::size_t p = 0; p < hw; ++p) po[c * hw + p] += b;
-    }
-  }
-  T::Tensor value = std::move(out2d).reshaped({cout, geom.hout, geom.wout});
-
-  return make_node(
-      std::move(value), {input, weight, bias},
+  Var out = make_node(
+      T::Tensor({cout, geom.hout, geom.wout}), {input, weight, bias},
       [input, weight, bias, col, geom, cout, hw](const T::Tensor& g) {
         // g arrives as [Cout, Hout, Wout]; its storage is already the row-
         // major [Cout, Hout*Wout] matrix, so reinterpret via pooled scratch.
@@ -741,6 +977,22 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias, std::size_t kh,
         }
       },
       ps.name(), ps.corr());
+  graph::record(out, [self = out.get(), pin = input.get(), pw = weight.get(),
+                      pb = bias.get(), col, geom, cout, hw] {
+    im2col_into(pin->value(), geom, **col);
+    // The [Cout, Hout*Wout] matmul lands directly in the node's [Cout, Hout,
+    // Wout] storage via a rank-2 view — same bytes, no reshape copy.
+    T::Tensor out2d =
+        T::Tensor::view(self->mutable_value().begin(), {cout, hw});
+    T::matmul_into(pw->value(), **col, out2d);
+    const float* pbias = pb->value().begin();
+    float* po = out2d.begin();
+    for (std::size_t c = 0; c < cout; ++c) {
+      const float b = pbias[c];
+      for (std::size_t p = 0; p < hw; ++p) po[c * hw + p] += b;
+    }
+  });
+  return out;
 }
 
 }  // namespace reffil::autograd

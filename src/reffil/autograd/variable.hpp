@@ -53,6 +53,22 @@ class Node {
   /// Add g into the stored gradient (lazily shaped on first call).
   void accumulate_grad(const tensor::Tensor& g);
 
+  /// Forget the accumulated gradient but keep its storage (arena view or
+  /// owning buffer): the next accumulate_grad copies into the existing
+  /// buffer instead of allocating. Used by graph replay between steps;
+  /// bitwise-equivalent to starting from an uninitialized gradient.
+  void reset_grad_keep_storage() { grad_initialized_ = false; }
+
+  /// Point the gradient at caller-planned storage (an arena view). The next
+  /// accumulate_grad copies into it; the shape must match the value's.
+  void adopt_grad_storage(tensor::Tensor storage);
+
+  /// True once backward() has swept from this node as its root. A second
+  /// backward() on the same root would silently re-seed and re-fire every
+  /// closure into already-populated gradients, so backward() throws instead.
+  bool swept() const { return swept_; }
+  void mark_swept() { swept_ = true; }
+
   // --- graph wiring (used by the op library) ---------------------------------
   void set_parents(std::vector<Var> parents) { parents_ = std::move(parents); }
   const std::vector<Var>& parents() const { return parents_; }
@@ -81,6 +97,7 @@ class Node {
   tensor::Tensor value_;
   tensor::Tensor grad_;  // empty-shape scalar until first accumulation
   bool grad_initialized_ = false;
+  bool swept_ = false;
   bool requires_grad_;
   std::vector<Var> parents_;
   std::function<void(const tensor::Tensor&)> backward_fn_;
@@ -96,6 +113,8 @@ Var parameter(tensor::Tensor value);
 
 /// Run reverse-mode accumulation from a scalar root. Gradients accumulate —
 /// call zero_grad on parameters between steps (the optimizer does this).
+/// Throws util::Error if called twice on the same root: the second sweep
+/// would re-seed the root with ones and double-accumulate every gradient.
 void backward(const Var& root);
 
 /// Helper used by ops: create an interior node whose requires_grad is the OR

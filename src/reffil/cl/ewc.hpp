@@ -37,6 +37,12 @@ class EwcMethod : public MethodBase {
   void post_backward(Replica& replica, const fed::TrainJob& job,
                      std::size_t slot) override;
   void after_aggregate() override;
+  /// The EWC batch graph is plain cross-entropy — the quadratic penalty is
+  /// added eagerly in post_backward — so one tape per batch size suffices.
+  std::string replay_signature(const Replica&, const fed::TrainJob&,
+                               std::size_t) const override {
+    return "ce";
+  }
 
  private:
   EwcConfig ewc_;

@@ -88,6 +88,7 @@ cl::MethodConfig base_method_config(const data::DatasetSpec& spec,
   method.parallelism = config.parallelism;
   method.seed = config.seed ^ 0xBEEFULL;
   method.max_tasks = spec.domains.size();
+  method.graph_replay = config.graph_replay;
   return method;
 }
 }  // namespace

@@ -43,6 +43,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   std::size_t parallelism = 2;
   Scale scale = Scale::kScaled;
+  /// Capture-and-replay client training graphs through the arena planner
+  /// (see autograd/graph.hpp). Replayed steps are bitwise-identical to
+  /// eager, so this deliberately does NOT change the result-cache key.
+  bool graph_replay = false;
   /// RefFiL component switches (Table 5 ablations; ignored by baselines).
   core::RefFiLConfig reffil;
   /// Transport fault simulation (inert by default; see fed/transport.hpp).

@@ -15,9 +15,12 @@ namespace {
 
 /// Elementwise driver: runs fn(lo, hi) over [0, n), fanning out on the
 /// global pool above the elementwise threshold. Blocks are disjoint, so the
-/// result is bitwise identical to the serial loop either way.
-void elementwise_blocks(std::size_t n,
-                        const std::function<void(std::size_t, std::size_t)>& fn) {
+/// result is bitwise identical to the serial loop either way. Templated so
+/// the (overwhelmingly common) serial path never materializes a
+/// std::function — graph replay counts on the serial path being
+/// allocation-free.
+template <typename Fn>
+void elementwise_blocks(std::size_t n, const Fn& fn) {
   obs::prof::Span span("elementwise", n * sizeof(float));
   if (P::should_parallelize(n, P::kElementwiseThreshold)) {
     P::for_range(n, P::kElementwiseThreshold / 2, fn);
@@ -40,17 +43,39 @@ void require_rank2(const Tensor& a, const char* op) {
   }
 }
 
-Tensor zip(const Tensor& a, const Tensor& b, const char* op,
-           float (*f)(float, float)) {
+void require_out_numel(const Tensor& ref, const Tensor& out, const char* op) {
+  REFFIL_CHECK_MSG(out.numel() == ref.numel(),
+                   std::string(op) + ": output numel mismatch");
+}
+
+void zip_into(const Tensor& a, const Tensor& b, const char* op,
+              float (*f)(float, float), Tensor& out) {
   require_same_shape(a, b, op);
-  Tensor out(a.shape());
+  require_out_numel(a, out, op);
   const float* pa = a.begin();
   const float* pb = b.begin();
   float* po = out.begin();
   elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
   });
+}
+
+Tensor zip(const Tensor& a, const Tensor& b, const char* op,
+           float (*f)(float, float)) {
+  require_same_shape(a, b, op);
+  Tensor out(a.shape());
+  zip_into(a, b, op, f, out);
   return out;
+}
+
+void scalar_op_into(const Tensor& a, const char* op, float s,
+                    float (*f)(float, float), Tensor& out) {
+  require_out_numel(a, out, op);
+  const float* pa = a.begin();
+  float* po = out.begin();
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = f(pa[i], s);
+  });
 }
 
 }  // namespace
@@ -91,24 +116,74 @@ Tensor div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  Tensor out = a;
-  float* po = out.begin();
-  elementwise_blocks(out.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) po[i] += s;
-  });
+  Tensor out(a.shape());
+  add_scalar_into(a, s, out);
   return out;
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  Tensor out = a;
-  float* po = out.begin();
-  elementwise_blocks(out.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) po[i] *= s;
-  });
+  Tensor out(a.shape());
+  mul_scalar_into(a, s, out);
   return out;
 }
 
 Tensor neg(const Tensor& a) { return mul_scalar(a, -1.0f); }
+
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  zip_into(a, b, "add_into", [](float x, float y) { return x + y; }, out);
+}
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  zip_into(a, b, "sub_into", [](float x, float y) { return x - y; }, out);
+}
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  zip_into(a, b, "mul_into", [](float x, float y) { return x * y; }, out);
+}
+void div_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  zip_into(a, b, "div_into", [](float x, float y) { return x / y; }, out);
+}
+void add_scalar_into(const Tensor& a, float s, Tensor& out) {
+  scalar_op_into(a, "add_scalar_into", s,
+                 [](float x, float v) { return x + v; }, out);
+}
+void mul_scalar_into(const Tensor& a, float s, Tensor& out) {
+  scalar_op_into(a, "mul_scalar_into", s,
+                 [](float x, float v) { return x * v; }, out);
+}
+void neg_into(const Tensor& a, Tensor& out) { mul_scalar_into(a, -1.0f, out); }
+void exp_into(const Tensor& a, Tensor& out) {
+  scalar_op_into(a, "exp_into", 0.0f,
+                 [](float x, float) { return std::exp(x); }, out);
+}
+void log_into(const Tensor& a, Tensor& out) {
+  scalar_op_into(a, "log_into", 0.0f,
+                 [](float x, float) { return std::log(x); }, out);
+}
+void tanh_into(const Tensor& a, Tensor& out) {
+  scalar_op_into(a, "tanh_into", 0.0f,
+                 [](float x, float) { return std::tanh(x); }, out);
+}
+void relu_into(const Tensor& a, Tensor& out) {
+  scalar_op_into(a, "relu_into", 0.0f,
+                 [](float x, float) { return x > 0.0f ? x : 0.0f; }, out);
+}
+void sigmoid_into(const Tensor& a, Tensor& out) {
+  scalar_op_into(a, "sigmoid_into", 0.0f,
+                 [](float x, float) { return 1.0f / (1.0f + std::exp(-x)); },
+                 out);
+}
+void map_into(const Tensor& a, const std::function<float(float)>& f,
+              Tensor& out) {
+  require_out_numel(a, out, "map_into");
+  const float* pa = a.begin();
+  float* po = out.begin();
+  elementwise_blocks(a.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
+}
+void copy_into(const Tensor& a, Tensor& out) {
+  require_out_numel(a, out, "copy_into");
+  std::copy(a.begin(), a.end(), out.begin());
+}
 
 Tensor exp(const Tensor& a) {
   return map(a, [](float x) { return std::exp(x); });
@@ -286,19 +361,29 @@ void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out) {
 
 Tensor transpose2d(const Tensor& a) {
   require_rank2(a, "transpose2d");
+  Tensor out({a.dim(1), a.dim(0)});
+  transpose2d_into(a, out);
+  return out;
+}
+
+void transpose2d_into(const Tensor& a, Tensor& out) {
+  require_rank2(a, "transpose2d_into");
   const std::size_t m = a.dim(0), n = a.dim(1);
+  if (out.rank() != 2 || out.dim(0) != n || out.dim(1) != m) {
+    throw ShapeError("transpose2d_into: output shape " +
+                     shape_to_string(out.shape()) + " for input " +
+                     shape_to_string(a.shape()));
+  }
   obs::prof::Span span("transpose2d", 2 * m * n * sizeof(float));
-  Tensor out({n, m});
   if (P::should_parallelize(m * n, P::kElementwiseThreshold)) {
     P::transpose2d_into(a, out);
-    return out;
+    return;
   }
   const float* pa = a.begin();
   float* po = out.begin();
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
   }
-  return out;
 }
 
 Tensor matvec(const Tensor& a, const Tensor& x) {
@@ -339,15 +424,22 @@ float max_all(const Tensor& a) {
 
 Tensor sum_rows(const Tensor& a) {
   require_rank2(a, "sum_rows");
+  Tensor out({a.dim(1)});
+  sum_rows_into(a, out);
+  return out;
+}
+
+void sum_rows_into(const Tensor& a, Tensor& out) {
+  require_rank2(a, "sum_rows_into");
   const std::size_t m = a.dim(0), n = a.dim(1);
-  Tensor out({n});
+  REFFIL_CHECK_MSG(out.numel() == n, "sum_rows_into: output numel mismatch");
   const float* pa = a.begin();
   float* po = out.begin();
+  std::fill(po, po + n, 0.0f);
   for (std::size_t i = 0; i < m; ++i) {
     const float* a_row = pa + i * n;
     for (std::size_t j = 0; j < n; ++j) po[j] += a_row[j];
   }
-  return out;
 }
 
 Tensor mean_cols(const Tensor& a) {
@@ -399,19 +491,28 @@ float cosine_similarity(const Tensor& a, const Tensor& b) {
   return static_cast<float>(num / denom);
 }
 
-Tensor softmax_rows(const Tensor& logits) {
-  require_rank2(logits, "softmax_rows");
+namespace {
+
+// Shared row-parallel driver for the softmax family; `out` must have the
+// logits' numel. Rows are independent, so the attention score matrices
+// ([T, T] per head) partition cleanly across workers; per-row arithmetic
+// lives in the dispatch table (degenerate-row semantics documented there).
+void softmax_family_into(const Tensor& logits, Tensor& out, const char* op,
+                         bool log_form) {
+  require_rank2(logits, op);
   const std::size_t m = logits.dim(0), n = logits.dim(1);
-  obs::prof::Span span("softmax_rows", 2 * m * n * sizeof(float));
-  Tensor out({m, n});
-  // Rows are independent, so the attention score matrices ([T, T] per head)
-  // partition cleanly across workers; per-row arithmetic lives in the
-  // dispatch table (degenerate-row semantics documented there).
+  REFFIL_CHECK_MSG(out.numel() == m * n,
+                   std::string(op) + ": output numel mismatch");
+  obs::prof::Span span(op, 2 * m * n * sizeof(float));
   const kern::Kernels& k = kern::active();
   const float* src = logits.begin();
   float* dst = out.begin();
   auto rows = [&](std::size_t lo, std::size_t hi) {
-    k.softmax_rows(src, dst, lo, hi, n);
+    if (log_form) {
+      k.log_softmax_rows(src, dst, lo, hi, n);
+    } else {
+      k.softmax_rows(src, dst, lo, hi, n);
+    }
   };
   if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
       m >= P::kRowThreshold) {
@@ -419,27 +520,30 @@ Tensor softmax_rows(const Tensor& logits) {
   } else {
     rows(0, m);
   }
+}
+
+}  // namespace
+
+Tensor softmax_rows(const Tensor& logits) {
+  require_rank2(logits, "softmax_rows");
+  Tensor out({logits.dim(0), logits.dim(1)});
+  softmax_family_into(logits, out, "softmax_rows", /*log_form=*/false);
   return out;
+}
+
+void softmax_rows_into(const Tensor& logits, Tensor& out) {
+  softmax_family_into(logits, out, "softmax_rows", /*log_form=*/false);
 }
 
 Tensor log_softmax_rows(const Tensor& logits) {
   require_rank2(logits, "log_softmax_rows");
-  const std::size_t m = logits.dim(0), n = logits.dim(1);
-  obs::prof::Span span("log_softmax_rows", 2 * m * n * sizeof(float));
-  Tensor out({m, n});
-  const kern::Kernels& k = kern::active();
-  const float* src = logits.begin();
-  float* dst = out.begin();
-  auto rows = [&](std::size_t lo, std::size_t hi) {
-    k.log_softmax_rows(src, dst, lo, hi, n);
-  };
-  if (P::should_parallelize(m * n, P::kElementwiseThreshold) &&
-      m >= P::kRowThreshold) {
-    P::for_range(m, P::kRowThreshold / 2, rows);
-  } else {
-    rows(0, m);
-  }
+  Tensor out({logits.dim(0), logits.dim(1)});
+  softmax_family_into(logits, out, "log_softmax_rows", /*log_form=*/true);
   return out;
+}
+
+void log_softmax_rows_into(const Tensor& logits, Tensor& out) {
+  softmax_family_into(logits, out, "log_softmax_rows", /*log_form=*/true);
 }
 
 std::vector<std::size_t> argmax_rows(const Tensor& logits) {

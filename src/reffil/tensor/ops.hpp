@@ -45,6 +45,28 @@ Tensor relu(const Tensor& a);
 Tensor sigmoid(const Tensor& a);
 Tensor map(const Tensor& a, const std::function<float(float)>& f);
 
+// Destination forms of the elementwise family. Each overwrites a
+// preallocated `out` of the input's shape and runs the exact loop of its
+// allocating twin (same blocking, same per-element order), so results are
+// bitwise identical — these exist so graph-replay closures and backward
+// scratch can reuse arena/pool storage instead of allocating. `out` may not
+// alias an input except where noted.
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);
+void sub_into(const Tensor& a, const Tensor& b, Tensor& out);
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out);
+void div_into(const Tensor& a, const Tensor& b, Tensor& out);
+void add_scalar_into(const Tensor& a, float s, Tensor& out);
+void mul_scalar_into(const Tensor& a, float s, Tensor& out);
+void neg_into(const Tensor& a, Tensor& out);
+void exp_into(const Tensor& a, Tensor& out);
+void log_into(const Tensor& a, Tensor& out);
+void tanh_into(const Tensor& a, Tensor& out);
+void relu_into(const Tensor& a, Tensor& out);
+void sigmoid_into(const Tensor& a, Tensor& out);
+void map_into(const Tensor& a, const std::function<float(float)>& f, Tensor& out);
+/// Shape-checked elementwise copy a -> out.
+void copy_into(const Tensor& a, Tensor& out);
+
 /// a += b (in place, same shape).
 void add_inplace(Tensor& a, const Tensor& b);
 /// a += s * b (axpy, same shape).
@@ -72,6 +94,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& out);
 /// 2-D transpose (parallel above parallel::kElementwiseThreshold).
 Tensor transpose2d(const Tensor& a);
+void transpose2d_into(const Tensor& a, Tensor& out);
 /// Matrix-vector product [m,k]x[k] -> [m].
 Tensor matvec(const Tensor& a, const Tensor& x);
 
@@ -81,6 +104,8 @@ float mean_all(const Tensor& a);
 float max_all(const Tensor& a);
 /// Column sums of a 2-D tensor: [m,n] -> [n].
 Tensor sum_rows(const Tensor& a);
+/// Column sums into a preallocated out with numel n (shape is not changed).
+void sum_rows_into(const Tensor& a, Tensor& out);
 /// Row means of a 2-D tensor: [m,n] -> [m].
 Tensor mean_cols(const Tensor& a);
 /// Mean over axis 0 of a 2-D tensor: [m,n] -> [n].
@@ -95,8 +120,10 @@ float cosine_similarity(const Tensor& a, const Tensor& b);
 // ---- row-wise softmax family -------------------------------------------------
 /// Numerically stable row softmax of a 2-D tensor.
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(const Tensor& logits, Tensor& out);
 /// Numerically stable row log-softmax of a 2-D tensor.
 Tensor log_softmax_rows(const Tensor& logits);
+void log_softmax_rows_into(const Tensor& logits, Tensor& out);
 /// Index of the max element in each row: [m,n] -> vector<size_t> of length m.
 std::vector<std::size_t> argmax_rows(const Tensor& logits);
 

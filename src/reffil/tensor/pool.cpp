@@ -1,5 +1,7 @@
 #include "reffil/tensor/pool.hpp"
 
+#include <algorithm>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -18,11 +20,25 @@ constexpr std::size_t kBucketCount = 64;
 constexpr std::size_t kMaxPooledFloats = std::size_t{1} << 24;    // 64 MiB
 constexpr std::size_t kMaxRetainedFloats = std::size_t{1} << 23;  // 32 MiB
 
+/// A raw allocation: `capacity` floats at `data`. Raw (not std::vector) so a
+/// miss can hand back uninitialized memory — vector cannot represent
+/// "allocated but unconstructed" contents.
+struct Buffer {
+  float* data = nullptr;
+  std::size_t capacity = 0;
+};
+
 struct ThreadCache {
-  std::vector<std::vector<float>> buckets[kBucketCount];
+  std::vector<Buffer> buckets[kBucketCount];
   std::size_t retained_floats = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+
+  ~ThreadCache() {
+    for (auto& bucket : buckets) {
+      for (Buffer& b : bucket) ::operator delete(b.data);
+    }
+  }
 };
 
 ThreadCache& cache() {
@@ -64,55 +80,82 @@ void count_metrics(bool hit, std::size_t n) {
   }
 }
 
-std::vector<float> acquire_buffer(std::size_t n, bool zero) {
+Buffer acquire_buffer(std::size_t n, bool zero) {
   if (n == 0) return {};
   ThreadCache& c = cache();
   if (n <= kMaxPooledFloats) {
     auto& stack = c.buckets[acquire_bucket(n)];
     if (!stack.empty()) {
-      std::vector<float> buf = std::move(stack.back());
+      Buffer buf = stack.back();
       stack.pop_back();
-      c.retained_floats -= buf.capacity();
+      c.retained_floats -= buf.capacity;
       ++c.hits;
       count_metrics(/*hit=*/true, n);
-      // Capacity >= n by the bucket invariant, so neither call reallocates.
-      if (zero) {
-        buf.assign(n, 0.0f);
-      } else {
-        buf.resize(n);
-      }
+      // Capacity >= n by the bucket invariant; contents beyond the zeroed
+      // prefix are whatever the previous borrow left.
+      if (zero) std::fill(buf.data, buf.data + n, 0.0f);
       return buf;
     }
   }
   ++c.misses;
   count_metrics(/*hit=*/false, n);
-  return std::vector<float>(n, 0.0f);
+  // Round the fresh allocation up to its acquire bucket's size so release()
+  // parks it exactly where the next same-size request looks. Capacity `n`
+  // itself would land in floor_log2(n) — one bucket below a non-power-of-two
+  // request's probe — and never be found again, turning a steady-state
+  // workload into a miss on every borrow.
+  const std::size_t capacity =
+      n <= kMaxPooledFloats ? (std::size_t{1} << acquire_bucket(n)) : n;
+  Buffer buf{static_cast<float*>(::operator new(capacity * sizeof(float))),
+             capacity};
+  // The point of zero=false: a miss hands the allocation back untouched, so
+  // callers about to overwrite every element never pay a fill pass.
+  if (zero) std::fill(buf.data, buf.data + n, 0.0f);
+  return buf;
 }
 
-void release_buffer(std::vector<float>&& buf) {
-  const std::size_t cap = buf.capacity();
-  if (cap == 0 || cap > kMaxPooledFloats) return;
+void release_buffer(Buffer buf) {
+  if (buf.data == nullptr) return;
+  if (buf.capacity == 0 || buf.capacity > kMaxPooledFloats) {
+    ::operator delete(buf.data);
+    return;
+  }
   ThreadCache& c = cache();
-  if (c.retained_floats + cap > kMaxRetainedFloats) return;  // drop: stay bounded
-  c.retained_floats += cap;
-  c.buckets[floor_log2(cap)].push_back(std::move(buf));
+  if (c.retained_floats + buf.capacity > kMaxRetainedFloats) {
+    ::operator delete(buf.data);  // drop: stay bounded
+    return;
+  }
+  c.retained_floats += buf.capacity;
+  c.buckets[floor_log2(buf.capacity)].push_back(buf);
 }
 
 }  // namespace
 
-Scratch::Scratch(Shape shape, bool zero)
-    : tensor_([&] {
-        const std::size_t n = shape_numel(shape);
-        return Tensor(std::move(shape), acquire_buffer(n, zero));
-      }()) {}
+Scratch::Scratch(Shape shape, bool zero) {
+  const std::size_t n = shape_numel(shape);
+  const Buffer buf = acquire_buffer(n, zero);
+  buffer_ = buf.data;
+  capacity_ = buf.capacity;
+  if (n == 0) {
+    tensor_ = Tensor(std::move(shape));  // owning empty; nothing to pool
+  } else {
+    tensor_ = Tensor::view(buffer_, std::move(shape));
+  }
+}
 
 Scratch::~Scratch() {
-  if (owns_) release_buffer(std::move(tensor_.data()));
+  // The buffer's lifetime is tied to the Scratch, not to tensor_: even if
+  // user code moved the view out (or assigned over tensor_), the underlying
+  // allocation is returned exactly once, and never as an empty husk.
+  release_buffer(Buffer{buffer_, capacity_});
 }
 
 Scratch::Scratch(Scratch&& other) noexcept
-    : tensor_(std::move(other.tensor_)), owns_(other.owns_) {
-  other.owns_ = false;
+    : buffer_(other.buffer_),
+      capacity_(other.capacity_),
+      tensor_(std::move(other.tensor_)) {
+  other.buffer_ = nullptr;
+  other.capacity_ = 0;
 }
 
 ThreadStats thread_stats() {
@@ -122,7 +165,10 @@ ThreadStats thread_stats() {
 
 void clear_thread_cache() {
   ThreadCache& c = cache();
-  for (auto& bucket : c.buckets) bucket.clear();
+  for (auto& bucket : c.buckets) {
+    for (Buffer& b : bucket) ::operator delete(b.data);
+    bucket.clear();
+  }
   c.retained_floats = 0;
 }
 

@@ -2,9 +2,10 @@
 //
 // Training allocates the same handful of intermediate shapes thousands of
 // times per round (backward-pass gradients, im2col columns, softmax
-// scratch). Scratch borrows a float buffer from a per-thread size-bucketed
-// free list instead of hitting the allocator, wraps it in a Tensor for the
-// duration of the scope, and returns it on destruction (RAII).
+// scratch). Scratch borrows a raw float buffer from a per-thread
+// size-bucketed free list instead of hitting the allocator, wraps it in a
+// non-owning Tensor view for the duration of the scope, and returns it on
+// destruction (RAII).
 //
 // Ownership rules:
 //  * A Scratch owns its buffer exclusively for its lifetime — the pool never
@@ -16,6 +17,9 @@
 //  * Buckets are power-of-two capacity classes; a released buffer lands in
 //    the bucket of its floor(log2(capacity)), so every hit hands back a
 //    buffer with capacity >= the request and reuse never reallocates.
+//  * The wrapped Tensor is a borrowed view: moving it out of the Scratch
+//    transfers the view, never the buffer, so the buffer is still released
+//    exactly once by the Scratch and a moved-out view must not outlive it.
 //
 // Observability: the obs registry counters `tensor.pool.hit`,
 // `tensor.pool.miss` and `tensor.pool.bytes` (bytes served from reuse)
@@ -32,7 +36,9 @@ namespace reffil::tensor::pool {
 /// RAII borrow: a Tensor of `shape` whose storage comes from the calling
 /// thread's free list (or the allocator on a miss). `zero` == true gives the
 /// usual zero-filled tensor; pass false when every element is about to be
-/// overwritten (the contents are then unspecified, not guaranteed zero).
+/// overwritten — the contents are then unspecified (a miss returns the
+/// allocation uninitialized, a hit returns whatever the previous borrow
+/// left behind).
 class Scratch {
  public:
   explicit Scratch(Shape shape, bool zero = true);
@@ -51,8 +57,9 @@ class Scratch {
   const Tensor& tensor() const { return tensor_; }
 
  private:
-  Tensor tensor_;
-  bool owns_ = true;
+  float* buffer_ = nullptr;       ///< null when moved-from or numel == 0
+  std::size_t capacity_ = 0;      ///< floats the allocation can hold
+  Tensor tensor_;                 ///< view over buffer_ (owning empty if n==0)
 };
 
 /// Per-thread pool statistics (this thread's free list only; the obs

@@ -1,5 +1,6 @@
 #include "reffil/tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -27,6 +28,63 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
   REFFIL_CHECK_MSG(data_.size() == shape_numel(shape_),
                    "data size " + std::to_string(data_.size()) +
                        " does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::view(float* data, Shape shape) {
+  const std::size_t n = shape_numel(shape);
+  REFFIL_CHECK_MSG(data != nullptr || n == 0,
+                   "view over null storage with nonzero numel");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_.clear();
+  t.view_ = data;
+  t.view_numel_ = n;
+  return t;
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      data_(other.begin(), other.end()),
+      view_(nullptr),
+      view_numel_(0) {}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  data_.assign(other.begin(), other.end());
+  view_ = nullptr;
+  view_numel_ = 0;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      data_(std::move(other.data_)),
+      view_(other.view_),
+      view_numel_(other.view_numel_) {
+  other.view_ = nullptr;
+  other.view_numel_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  view_ = other.view_;
+  view_numel_ = other.view_numel_;
+  other.view_ = nullptr;
+  other.view_numel_ = 0;
+  return *this;
+}
+
+const std::vector<float>& Tensor::data() const {
+  REFFIL_CHECK_MSG(view_ == nullptr, "data() on a borrowed view tensor");
+  return data_;
+}
+
+std::vector<float>& Tensor::data() {
+  REFFIL_CHECK_MSG(view_ == nullptr, "data() on a borrowed view tensor");
+  return data_;
 }
 
 Tensor Tensor::scalar(float value) {
@@ -62,55 +120,66 @@ std::size_t Tensor::dim(std::size_t axis) const {
 }
 
 float Tensor::at(std::size_t flat_index) const {
-  REFFIL_CHECK_MSG(flat_index < data_.size(), "flat index out of range");
-  return data_[flat_index];
+  REFFIL_CHECK_MSG(flat_index < numel(), "flat index out of range");
+  return begin()[flat_index];
 }
 
 float& Tensor::at(std::size_t flat_index) {
-  REFFIL_CHECK_MSG(flat_index < data_.size(), "flat index out of range");
-  return data_[flat_index];
+  REFFIL_CHECK_MSG(flat_index < numel(), "flat index out of range");
+  return begin()[flat_index];
 }
 
 float Tensor::at2(std::size_t row, std::size_t col) const {
   if (rank() != 2) throw ShapeError("at2 requires rank-2, got " + shape_to_string(shape_));
   REFFIL_CHECK(row < shape_[0] && col < shape_[1]);
-  return data_[row * shape_[1] + col];
+  return begin()[row * shape_[1] + col];
 }
 
 float& Tensor::at2(std::size_t row, std::size_t col) {
   if (rank() != 2) throw ShapeError("at2 requires rank-2, got " + shape_to_string(shape_));
   REFFIL_CHECK(row < shape_[0] && col < shape_[1]);
-  return data_[row * shape_[1] + col];
+  return begin()[row * shape_[1] + col];
 }
 
 float Tensor::item() const {
-  if (data_.size() != 1) {
-    throw ShapeError("item() on tensor with " + std::to_string(data_.size()) +
+  if (numel() != 1) {
+    throw ShapeError("item() on tensor with " + std::to_string(numel()) +
                      " elements");
   }
-  return data_[0];
+  return begin()[0];
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const& {
-  if (shape_numel(new_shape) != data_.size()) {
+  if (shape_numel(new_shape) != numel()) {
     throw ShapeError("cannot reshape " + shape_to_string(shape_) + " to " +
                      shape_to_string(new_shape));
   }
-  return Tensor(std::move(new_shape), data_);
+  return Tensor(std::move(new_shape), std::vector<float>(begin(), end()));
 }
 
 Tensor Tensor::reshaped(Shape new_shape) && {
-  if (shape_numel(new_shape) != data_.size()) {
+  if (shape_numel(new_shape) != numel()) {
     throw ShapeError("cannot reshape " + shape_to_string(shape_) + " to " +
                      shape_to_string(new_shape));
+  }
+  if (view_ != nullptr) {
+    // Cannot take the borrowed storage with us; fall back to a deep copy.
+    return Tensor(std::move(new_shape), std::vector<float>(begin(), end()));
   }
   return Tensor(std::move(new_shape), std::move(data_));
 }
 
+bool Tensor::operator==(const Tensor& other) const {
+  if (shape_ != other.shape_) return false;
+  return std::equal(begin(), end(), other.begin());
+}
+
 bool Tensor::all_close(const Tensor& other, float atol) const {
   if (shape_ != other.shape_) return false;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  const float* a = begin();
+  const float* b = other.begin();
+  for (std::size_t i = 0; i < numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol) return false;
   }
   return true;
 }
@@ -118,7 +187,11 @@ bool Tensor::all_close(const Tensor& other, float atol) const {
 void Tensor::serialize(util::ByteWriter& writer) const {
   writer.write_u64(shape_.size());
   for (std::size_t d : shape_) writer.write_u64(d);
-  writer.write_pod_vector(data_);
+  if (view_ != nullptr) {
+    writer.write_pod_vector(std::vector<float>(begin(), end()));
+  } else {
+    writer.write_pod_vector(data_);
+  }
 }
 
 Tensor Tensor::deserialize(util::ByteReader& reader) {

@@ -91,6 +91,30 @@ TEST(Autograd, ZeroGradResets) {
   EXPECT_TRUE(p->grad().all_close(T::Tensor::vector({0, 0})));
 }
 
+TEST(Autograd, BackwardTwiceOnSameRootThrows) {
+  auto p = AG::parameter(T::Tensor::vector({1, 2}));
+  auto loss = AG::sum_all(p);
+  AG::backward(loss);
+  EXPECT_TRUE(p->grad().all_close(T::Tensor::vector({1, 1})));
+  // A second sweep from the same root would silently re-seed with ones and
+  // double every accumulated gradient; it must throw instead.
+  EXPECT_THROW(AG::backward(loss), reffil::Error);
+  // The gradients from the first sweep are untouched.
+  EXPECT_TRUE(p->grad().all_close(T::Tensor::vector({1, 1})));
+}
+
+TEST(Autograd, FreshRootOverSameSubgraphStillSweeps) {
+  // The double-backward guard is per root node: building a NEW loss over the
+  // same parameters is deliberate gradient accumulation and must keep
+  // working after a previous sweep (and after a rejected re-sweep).
+  auto p = AG::parameter(T::Tensor::vector({3}));
+  auto first = AG::sum_all(AG::mul_scalar(p, 2.0f));
+  AG::backward(first);
+  EXPECT_THROW(AG::backward(first), reffil::Error);
+  AG::backward(AG::sum_all(AG::mul_scalar(p, 3.0f)));
+  EXPECT_TRUE(p->grad().all_close(T::Tensor::vector({5})));
+}
+
 TEST(AutogradGradCheck, AddSubMul) {
   reffil::util::Rng rng(1);
   auto a = randn_param({3, 4}, rng);

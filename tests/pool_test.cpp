@@ -89,6 +89,27 @@ TEST(ScratchPool, MoveTransfersOwnershipWithoutDoubleRelease) {
   EXPECT_EQ(after.misses, before.misses + 2);  // a missed cold; d misses again
 }
 
+TEST(ScratchPool, MovedOutInnerTensorLeavesReleaseWithScratch) {
+  ColdPool cold;
+  const auto before = pool::thread_stats();
+  {
+    pool::Scratch s({64});
+    std::fill(s->begin(), s->end(), 5.0f);
+    // Moving the wrapped Tensor transfers only the borrowed view; the
+    // Scratch keeps buffer ownership and must release it exactly once.
+    T::Tensor view = std::move(s.tensor());
+    EXPECT_EQ(view.numel(), 64u);
+    EXPECT_EQ(view.at(0), 5.0f);
+  }  // view dies first (reverse declaration order), then s releases
+  // The released buffer must be a real, usable allocation — not an empty
+  // husk left behind by the move — so the next same-class borrow hits.
+  pool::Scratch again({64});
+  std::fill(again->begin(), again->end(), 1.0f);
+  const auto after = pool::thread_stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
 TEST(ScratchPool, ClearThreadCacheDropsRetainedBytes) {
   ColdPool cold;
   { pool::Scratch s({1024}); }

@@ -27,6 +27,12 @@
 //                     see fed/compress.hpp. E.g. quantized broadcast plus
 //                     top-10% sparsified q8 deltas:
 //                       --compress q8,topk=0.1
+//   --graph-replay    capture each distinct client training graph once and
+//                     replay it through the arena planner on later batches
+//                     (bitwise-identical results, zero steady-state
+//                     allocations; see autograd/graph.hpp). The --json
+//                     output gains a "graph" block with capture/replay
+//                     counts and arena_bytes.
 //   --profile PATH    write an op-level Chrome trace (chrome://tracing) here
 //   --serve-metrics P serve live /metrics, /healthz and /progress over HTTP
 //                     on 127.0.0.1:P while the run executes (0 = ephemeral
@@ -70,8 +76,8 @@ int usage(const char* argv0) {
                "usage: %s --dataset NAME --method NAME [--order orig|new] "
                "[--seed N] [--scale smoke|scaled|full] [--dropout P] "
                "[--fault-profile SPEC] [--des SPEC] [--compress SPEC] "
-               "[--profile PATH] [--serve-metrics PORT] [--monitor SPEC] "
-               "[--json]\n"
+               "[--graph-replay] [--profile PATH] [--serve-metrics PORT] "
+               "[--monitor SPEC] [--json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -171,6 +177,28 @@ void print_json(const fed::RunResult& result) {
   }
   std::printf("}");
 
+  // Graph-replay accounting (all zero for eager runs, so the block is
+  // always present). arena_bytes is the largest planned arena this process
+  // captured — deterministic for a fixed (method, dataset, scale, seed).
+  const auto counter_of = [&](const char* name) -> unsigned long long {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0ULL
+                                     : static_cast<unsigned long long>(
+                                           it->second);
+  };
+  const auto gauge_it = snap.gauges.find("ag.graph.arena_bytes");
+  const unsigned long long arena_bytes =
+      gauge_it == snap.gauges.end()
+          ? 0ULL
+          : static_cast<unsigned long long>(gauge_it->second);
+  std::printf(",\"graph\":{\"captures\":%llu,\"capture_rejects\":%llu,"
+              "\"replays\":%llu,\"fallbacks\":%llu,\"arena_bytes\":%llu,"
+              "\"pool_misses\":%llu}",
+              counter_of("ag.graph.capture"),
+              counter_of("ag.graph.capture_reject"),
+              counter_of("ag.graph.replay"), counter_of("ag.graph.fallback"),
+              arena_bytes, counter_of("tensor.pool.miss"));
+
   // Health block: detector firings with round coordinates. Present for every
   // run (monitored=false for plain ones) so consumers never branch on key
   // existence.
@@ -254,6 +282,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   double dropout = 0.0;
   bool json = false;
+  bool graph_replay = false;
   bool monitor_armed = false;
   bool serve_metrics = false;
   long metrics_port = 0;
@@ -331,6 +360,8 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       monitor_armed = true;
       monitor_spec = v;
+    } else if (arg == "--graph-replay") {
+      graph_replay = true;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -379,6 +410,7 @@ int main(int argc, char** argv) {
   config.scale = scale == "smoke"   ? harness::Scale::kSmoke
                  : scale == "full"  ? harness::Scale::kFull
                                     : harness::Scale::kScaled;
+  config.graph_replay = graph_replay;
 
   if (!profile_path.empty()) {
     obs::prof::set_thread_name("main");
